@@ -1,0 +1,98 @@
+//! Def/use summaries.
+//!
+//! Cheap whole-function counts of definitions and uses per virtual register,
+//! used by copy propagation, dead-code elimination, the renamer and the
+//! expansion transformations (e.g. "V is only referenced by its own
+//! increment instructions" in the paper's Figure 2 algorithm).
+
+use ilpc_ir::{BlockId, Function, Reg, RegClass};
+
+/// Definition and use counts per register.
+#[derive(Debug, Clone)]
+pub struct DefUse {
+    defs: [Vec<u32>; 2],
+    uses: [Vec<u32>; 2],
+}
+
+impl DefUse {
+    /// Compute counts over the whole function.
+    pub fn compute(f: &Function) -> DefUse {
+        let mut du = DefUse {
+            defs: [
+                vec![0; f.vreg_count(RegClass::Int) as usize],
+                vec![0; f.vreg_count(RegClass::Flt) as usize],
+            ],
+            uses: [
+                vec![0; f.vreg_count(RegClass::Int) as usize],
+                vec![0; f.vreg_count(RegClass::Flt) as usize],
+            ],
+        };
+        for (_, inst) in f.insts() {
+            if let Some(d) = inst.def() {
+                du.defs[d.class.index()][d.id as usize] += 1;
+            }
+            for u in inst.uses() {
+                du.uses[u.class.index()][u.id as usize] += 1;
+            }
+        }
+        du
+    }
+
+    /// Number of definitions of `r`.
+    pub fn num_defs(&self, r: Reg) -> u32 {
+        self.defs[r.class.index()].get(r.id as usize).copied().unwrap_or(0)
+    }
+
+    /// Number of uses of `r`.
+    pub fn num_uses(&self, r: Reg) -> u32 {
+        self.uses[r.class.index()].get(r.id as usize).copied().unwrap_or(0)
+    }
+}
+
+/// True if `r` has no definitions within the given loop blocks
+/// (i.e. is invariant with respect to that loop).
+pub fn invariant_in(f: &Function, blocks: &[BlockId], r: Reg) -> bool {
+    blocks
+        .iter()
+        .all(|&b| f.block(b).insts.iter().all(|i| i.def() != Some(r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::inst::Inst;
+    use ilpc_ir::{Function, Opcode, Operand};
+
+    #[test]
+    fn counts_defs_and_uses() {
+        let mut f = Function::new("t");
+        let a = f.new_reg(RegClass::Int);
+        let b = f.new_reg(RegClass::Int);
+        let blk = f.add_block("entry");
+        f.block_mut(blk).insts.extend([
+            Inst::mov(a, Operand::ImmI(1)),
+            Inst::alu(Opcode::Add, b, a.into(), a.into()),
+            Inst::alu(Opcode::Add, a, a.into(), b.into()),
+            Inst::halt(),
+        ]);
+        let du = DefUse::compute(&f);
+        assert_eq!(du.num_defs(a), 2);
+        assert_eq!(du.num_uses(a), 3);
+        assert_eq!(du.num_defs(b), 1);
+        assert_eq!(du.num_uses(b), 1);
+    }
+
+    #[test]
+    fn invariance() {
+        let mut f = Function::new("t");
+        let a = f.new_reg(RegClass::Int);
+        let b = f.new_reg(RegClass::Int);
+        let b0 = f.add_block("b0");
+        let b1 = f.add_block("b1");
+        f.block_mut(b0).insts.push(Inst::mov(a, Operand::ImmI(1)));
+        f.block_mut(b1).insts.push(Inst::mov(b, Operand::ImmI(2)));
+        f.block_mut(b1).insts.push(Inst::halt());
+        assert!(invariant_in(&f, &[b1], a));
+        assert!(!invariant_in(&f, &[b1], b));
+    }
+}

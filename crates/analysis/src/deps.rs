@@ -1,0 +1,291 @@
+//! Intra-block dependence graph construction.
+//!
+//! Builds the DAG that drives list scheduling of a (super)block. Edges carry
+//! a `min_delay`: the consumer may issue no earlier than `producer issue +
+//! min_delay` cycles. A zero delay still constrains *linear order* — the
+//! scheduler emits same-cycle instructions respecting edge direction, which
+//! the in-order simulator then executes sequentially within the cycle.
+//!
+//! Edge rules (matching the simulator's interlock semantics exactly):
+//!
+//! * **Flow** (RAW): delay = producer latency.
+//! * **Anti** (WAR): delay = 0 (registers are read at issue).
+//! * **Output** (WAW): delay = `max(1, lat(from) + 1 − lat(to))` so the
+//!   later write also *completes* later.
+//! * **Memory**: `store→load` on may-aliasing locations gets delay 1
+//!   (store visibility is issue+1); `load→store` and `store→store` get
+//!   delay 0 — order-only edges. Same-cycle instructions execute in linear
+//!   order on the modeled machine, so an ordered aliasing store pair may
+//!   share a cycle (the paper's Figure 5d issues all three `C` stores at
+//!   cycle 5).
+//! * **Control**: a later instruction may be hoisted above an earlier
+//!   branch only when the caller-provided policy allows it (non-excepting
+//!   loads, no side effects, destination dead on the taken path); otherwise
+//!   an order edge (delay 0) pins it. Stores and register writes that are
+//!   live at a branch target are likewise pinned *before* later branches.
+//! * **Halt** is a full barrier.
+
+use ilpc_ir::{Inst, Opcode};
+
+/// Dependence kind (for diagnostics and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    Flow,
+    Anti,
+    Output,
+    MemFlow,
+    MemAnti,
+    MemOutput,
+    Control,
+}
+
+/// One dependence edge: `to` may issue no earlier than
+/// `issue(from) + min_delay`.
+#[derive(Debug, Clone, Copy)]
+pub struct Dep {
+    pub from: usize,
+    pub to: usize,
+    pub kind: DepKind,
+    pub min_delay: u32,
+}
+
+/// Dependence DAG over the instructions of one block.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    pub n: usize,
+    pub edges: Vec<Dep>,
+    /// For each node, indices into `edges` of incoming edges.
+    pub preds: Vec<Vec<usize>>,
+    /// For each node, indices into `edges` of outgoing edges.
+    pub succs: Vec<Vec<usize>>,
+}
+
+impl DepGraph {
+    fn add(&mut self, from: usize, to: usize, kind: DepKind, min_delay: u32) {
+        debug_assert!(from < to, "dependence edges point forward");
+        let idx = self.edges.len();
+        self.edges.push(Dep { from, to, kind, min_delay });
+        self.preds[to].push(idx);
+        self.succs[from].push(idx);
+    }
+
+    /// Longest path (in delay) from each node to any sink, used as the
+    /// list-scheduling priority ("critical path" heuristic). The latency of
+    /// the node itself is added so long-latency roots rank high.
+    pub fn critical_path(&self, latency_of: impl Fn(usize) -> u32) -> Vec<u32> {
+        let mut height = vec![0u32; self.n];
+        for i in (0..self.n).rev() {
+            let mut h = latency_of(i);
+            for &e in &self.succs[i] {
+                let d = &self.edges[e];
+                h = h.max(d.min_delay + height[d.to]);
+            }
+            height[i] = h;
+        }
+        height
+    }
+}
+
+/// Policy hook: may instruction `later` be hoisted above `branch`?
+pub type CrossBranchPolicy<'a> = dyn Fn(&Inst, &Inst) -> bool + 'a;
+
+/// Build the dependence DAG for `insts`.
+///
+/// `latency_of` gives the machine latency per instruction; `can_cross`
+/// decides speculation legality (see [`CrossBranchPolicy`]).
+pub fn build_block_deps(
+    insts: &[Inst],
+    latency_of: &dyn Fn(&Inst) -> u32,
+    can_cross: &CrossBranchPolicy,
+) -> DepGraph {
+    let n = insts.len();
+    let mut g = DepGraph {
+        n,
+        edges: Vec::with_capacity(n * 2),
+        preds: vec![Vec::new(); n],
+        succs: vec![Vec::new(); n],
+    };
+
+    for j in 0..n {
+        let ij = &insts[j];
+
+        // Register dependences: scan backwards for the most recent def /
+        // intervening uses of each register j touches.
+        for u in ij.uses() {
+            for i in (0..j).rev() {
+                if insts[i].def() == Some(u) {
+                    g.add(i, j, DepKind::Flow, latency_of(&insts[i]));
+                    break;
+                }
+            }
+        }
+        if let Some(d) = ij.def() {
+            for i in (0..j).rev() {
+                let prev = &insts[i];
+                if prev.def() == Some(d) {
+                    let delay =
+                        (latency_of(prev) + 1).saturating_sub(latency_of(ij)).max(1);
+                    g.add(i, j, DepKind::Output, delay);
+                    break;
+                }
+                if prev.uses().any(|u| u == d) {
+                    g.add(i, j, DepKind::Anti, 0);
+                }
+            }
+        }
+
+        // Memory dependences.
+        if ij.op.is_mem() {
+            let mj = ij.mem.expect("memory op without tag");
+            for i in (0..j).rev() {
+                let ii = &insts[i];
+                if !ii.op.is_mem() {
+                    continue;
+                }
+                let mi = ii.mem.expect("memory op without tag");
+                if !mi.may_alias(&mj) {
+                    continue;
+                }
+                match (ii.op, ij.op) {
+                    (Opcode::Store, Opcode::Load) => {
+                        g.add(i, j, DepKind::MemFlow, 1)
+                    }
+                    (Opcode::Load, Opcode::Store) => {
+                        g.add(i, j, DepKind::MemAnti, 0)
+                    }
+                    (Opcode::Store, Opcode::Store) => {
+                        g.add(i, j, DepKind::MemOutput, 0)
+                    }
+                    _ => {} // load/load: no constraint
+                }
+            }
+        }
+
+        // Control dependences.
+        match ij.op {
+            Opcode::Halt => {
+                // Full barrier: everything before stays before.
+                for i in 0..j {
+                    g.add(i, j, DepKind::Control, 0);
+                }
+            }
+            Opcode::Br(_) | Opcode::Jump => {
+                for i in 0..j {
+                    let ii = &insts[i];
+                    let pinned = match ii.op {
+                        // Branches stay ordered among themselves; stores may
+                        // not sink below a branch (they would be skipped).
+                        Opcode::Br(_) | Opcode::Jump | Opcode::Halt | Opcode::Store => {
+                            true
+                        }
+                        // A register write needed on the taken path may not
+                        // sink below the branch. The policy callback answers
+                        // "may `ii` cross `ij`?" for sinking as well.
+                        _ => !can_cross(ij, ii),
+                    };
+                    if pinned && !has_edge(&g, i, j) {
+                        g.add(i, j, DepKind::Control, 0);
+                    }
+                }
+            }
+            _ => {
+                // May j be hoisted above earlier branches?
+                for i in (0..j).rev() {
+                    let ii = &insts[i];
+                    if ii.op.is_branch() && !can_cross(ii, ij) && !has_edge(&g, i, j)
+                    {
+                        g.add(i, j, DepKind::Control, 0);
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+fn has_edge(g: &DepGraph, from: usize, to: usize) -> bool {
+    g.preds[to].iter().any(|&e| g.edges[e].from == from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::inst::MemLoc;
+    use ilpc_ir::{Cond, Operand, Reg, SymId};
+
+    fn lat(i: &Inst) -> u32 {
+        match i.op {
+            Opcode::Load => 2,
+            Opcode::FAdd => 3,
+            _ => 1,
+        }
+    }
+
+    #[test]
+    fn flow_anti_output_edges() {
+        let r1 = Reg::int(1);
+        let r2 = Reg::int(2);
+        let insts = vec![
+            Inst::mov(r1, Operand::ImmI(1)),                       // 0: def r1
+            Inst::alu(Opcode::Add, r2, r1.into(), Operand::ImmI(1)), // 1: use r1
+            Inst::mov(r1, Operand::ImmI(2)),                       // 2: redef r1
+        ];
+        let g = build_block_deps(&insts, &lat, &|_, _| true);
+        let kinds: Vec<(usize, usize, DepKind)> =
+            g.edges.iter().map(|e| (e.from, e.to, e.kind)).collect();
+        assert!(kinds.contains(&(0, 1, DepKind::Flow)));
+        assert!(kinds.contains(&(0, 2, DepKind::Output)));
+        assert!(kinds.contains(&(1, 2, DepKind::Anti)));
+    }
+
+    #[test]
+    fn memory_edges_respect_alias_info() {
+        let a = SymId(0);
+        let r = Reg::flt(0);
+        let st0 = Inst::store(Operand::Sym(a), Operand::ImmI(0), Operand::ImmF(1.0), MemLoc::affine(a, 1, 0));
+        let ld_same = Inst::load(r, Operand::Sym(a), Operand::ImmI(0), MemLoc::affine(a, 1, 0));
+        let ld_diff = Inst::load(Reg::flt(1), Operand::Sym(a), Operand::ImmI(1), MemLoc::affine(a, 1, 1));
+        let g = build_block_deps(
+            &[st0.clone(), ld_same, ld_diff],
+            &lat,
+            &|_, _| true,
+        );
+        let pairs: Vec<(usize, usize, DepKind)> =
+            g.edges.iter().map(|e| (e.from, e.to, e.kind)).collect();
+        assert!(pairs.contains(&(0, 1, DepKind::MemFlow)));
+        assert!(!pairs.iter().any(|&(f, t, _)| f == 0 && t == 2));
+    }
+
+    #[test]
+    fn branch_pins_stores_and_speculation_policy() {
+        let a = SymId(0);
+        let r = Reg::flt(0);
+        let insts = vec![
+            Inst::br(Cond::Lt, Operand::ImmI(0), Operand::ImmI(1), ilpc_ir::BlockId(0)),
+            Inst::load(r, Operand::Sym(a), Operand::ImmI(0), MemLoc::affine(a, 1, 0)),
+            Inst::store(Operand::Sym(a), Operand::ImmI(1), Operand::ImmF(0.0), MemLoc::affine(a, 1, 1)),
+        ];
+        // Policy allows loads to cross, nothing else.
+        let g = build_block_deps(&insts, &lat, &|_, later| later.op == Opcode::Load);
+        let pairs: Vec<(usize, usize, DepKind)> =
+            g.edges.iter().map(|e| (e.from, e.to, e.kind)).collect();
+        // Load is free; store is control-pinned after the branch.
+        assert!(!pairs.iter().any(|&(f, t, _)| f == 0 && t == 1));
+        assert!(pairs.contains(&(0, 2, DepKind::Control)));
+    }
+
+    #[test]
+    fn critical_path_heights() {
+        let r1 = Reg::flt(1);
+        let r2 = Reg::flt(2);
+        let a = SymId(0);
+        let insts = vec![
+            Inst::load(r1, Operand::Sym(a), Operand::ImmI(0), MemLoc::affine(a, 1, 0)), // lat 2
+            Inst::alu(Opcode::FAdd, r2, r1.into(), r1.into()),                          // lat 3
+        ];
+        let g = build_block_deps(&insts, &lat, &|_, _| true);
+        let h = g.critical_path(|i| lat(&insts[i]));
+        assert_eq!(h[1], 3);
+        assert_eq!(h[0], 5); // 2 (load) + 3 (fadd chain)
+    }
+}

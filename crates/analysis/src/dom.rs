@@ -1,0 +1,133 @@
+//! Dominator computation.
+//!
+//! Straightforward iterative dataflow dominators over reachable blocks —
+//! functions in this workspace have at most a few hundred blocks, where the
+//! simple algorithm is both fast and obviously correct.
+
+use ilpc_ir::{BlockId, Function};
+
+/// Dominator sets per block.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `doms[b]` = blocks dominating `b` (as a bit vector over block ids).
+    doms: Vec<Vec<bool>>,
+    /// Reachability from entry.
+    reachable: Vec<bool>,
+}
+
+impl Dominators {
+    /// Compute dominators of `f` from its entry block.
+    pub fn compute(f: &Function) -> Dominators {
+        let n = f.num_blocks();
+        let entry = f.entry();
+
+        // Reachability (blocks outside the layout or unreachable don't get
+        // dominator info).
+        let mut reachable = vec![false; n];
+        let mut stack = vec![entry];
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut reachable[b.0 as usize], true) {
+                continue;
+            }
+            stack.extend(f.succs(b));
+        }
+
+        let mut doms = vec![vec![true; n]; n];
+        doms[entry.0 as usize] = vec![false; n];
+        doms[entry.0 as usize][entry.0 as usize] = true;
+
+        let preds = f.preds();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in f.layout_order() {
+                let bi = b.0 as usize;
+                if b == entry || !reachable[bi] {
+                    continue;
+                }
+                // new = {b} ∪ ∩ preds
+                let mut new = vec![true; n];
+                let mut any_pred = false;
+                for p in preds[bi].iter().filter(|p| reachable[p.0 as usize]) {
+                    any_pred = true;
+                    for (nw, pd) in new.iter_mut().zip(&doms[p.0 as usize]) {
+                        *nw &= *pd;
+                    }
+                }
+                if !any_pred {
+                    new = vec![false; n];
+                }
+                new[bi] = true;
+                if new != doms[bi] {
+                    doms[bi] = new;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { doms, reachable }
+    }
+
+    /// True if `a` dominates `b`.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.reachable[b.0 as usize] && self.doms[b.0 as usize][a.0 as usize]
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable[b.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::inst::Inst;
+    use ilpc_ir::{Cond, Function, Operand};
+
+    #[test]
+    fn diamond_dominators() {
+        // entry -> {then | else} -> join -> (halt)
+        let mut f = Function::new("t");
+        let entry = f.add_block("entry");
+        let then = f.add_block("then");
+        let els = f.add_block("else");
+        let join = f.add_block("join");
+        f.block_mut(entry).insts.push(Inst::br(
+            Cond::Eq,
+            Operand::ImmI(0),
+            Operand::ImmI(0),
+            els,
+        ));
+        f.block_mut(then).insts.push(Inst::jump(join));
+        // els falls through to join
+        f.block_mut(join).insts.push(Inst::halt());
+
+        let d = Dominators::compute(&f);
+        assert!(d.dominates(entry, join));
+        assert!(d.dominates(entry, then));
+        assert!(!d.dominates(then, join));
+        assert!(!d.dominates(els, join));
+        assert!(d.dominates(join, join));
+    }
+
+    #[test]
+    fn loop_header_dominates_latch() {
+        let mut f = Function::new("t");
+        let entry = f.add_block("entry");
+        let header = f.add_block("header");
+        let latch = f.add_block("latch");
+        let exit = f.add_block("exit");
+        let _ = entry;
+        f.block_mut(latch).insts.push(Inst::br(
+            Cond::Lt,
+            Operand::ImmI(0),
+            Operand::ImmI(1),
+            header,
+        ));
+        f.block_mut(exit).insts.push(Inst::halt());
+        let d = Dominators::compute(&f);
+        assert!(d.dominates(header, latch));
+        assert!(d.dominates(header, exit));
+        assert!(!d.dominates(latch, header));
+    }
+}

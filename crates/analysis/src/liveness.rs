@@ -1,0 +1,140 @@
+//! Live-variable analysis.
+//!
+//! Classic backward may-analysis over the CFG. Works on blocks containing
+//! mid-block side exits (superblocks): a block's `gen` set contains every
+//! register read before being written *anywhere in the block* — this is
+//! conservative for uses that only happen after a side exit, which is the
+//! safe direction for both dead-code elimination and speculation checks.
+
+use crate::regset::RegSet;
+use ilpc_ir::{BlockId, Function, RegClass};
+
+/// Per-block liveness sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live on entry to each block (indexed by `BlockId.0`).
+    pub live_in: Vec<RegSet>,
+    /// Registers live on exit from each block.
+    pub live_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Compute liveness for `f`.
+    pub fn compute(f: &Function) -> Liveness {
+        let n = f.num_blocks();
+        let caps = [f.vreg_count(RegClass::Int), f.vreg_count(RegClass::Flt)];
+
+        // gen/kill per block.
+        let mut gen = vec![RegSet::with_capacity(caps); n];
+        let mut kill = vec![RegSet::with_capacity(caps); n];
+        for &bid in f.layout_order() {
+            let g = &mut gen[bid.0 as usize];
+            let k = &mut kill[bid.0 as usize];
+            for inst in &f.block(bid).insts {
+                for u in inst.uses() {
+                    if !k.contains(u) {
+                        g.insert(u);
+                    }
+                }
+                if let Some(d) = inst.def() {
+                    k.insert(d);
+                }
+            }
+        }
+
+        let mut live_in = vec![RegSet::with_capacity(caps); n];
+        let mut live_out = vec![RegSet::with_capacity(caps); n];
+
+        // Iterate to fixpoint, sweeping blocks in reverse layout order.
+        let order: Vec<BlockId> = f.layout_order().iter().rev().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bid in &order {
+                let i = bid.0 as usize;
+                let mut out = std::mem::take(&mut live_out[i]);
+                for s in f.succs(bid) {
+                    out.union_with(&live_in[s.0 as usize]);
+                }
+                let in_changed = {
+                    let inn = &mut live_in[i];
+                    let mut c = inn.union_with_minus(&out, &kill[i]);
+                    c |= inn.union_with(&gen[i]);
+                    c
+                };
+                live_out[i] = out;
+                changed |= in_changed;
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live on entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &RegSet {
+        &self.live_in[b.0 as usize]
+    }
+
+    /// Registers live on exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &RegSet {
+        &self.live_out[b.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::inst::{Inst, MemLoc};
+    use ilpc_ir::{Cond, Module, Operand, RegClass};
+
+    /// Build a counted loop: s accumulates A[i] (registers only).
+    fn loop_func() -> (Module, BlockId, BlockId, BlockId) {
+        let mut m = Module::new("t");
+        let a = m.symtab.declare("A", 8, RegClass::Flt);
+        let f = &mut m.func;
+        let i = f.new_reg(RegClass::Int);
+        let n = f.new_reg(RegClass::Int);
+        let s = f.new_reg(RegClass::Flt);
+        let t = f.new_reg(RegClass::Flt);
+        let entry = f.add_block("entry");
+        let body = f.add_block("body");
+        let exit = f.add_block("exit");
+        f.block_mut(entry).insts.extend([
+            Inst::mov(i, Operand::ImmI(0)),
+            Inst::mov(n, Operand::ImmI(8)),
+            Inst::mov(s, Operand::ImmF(0.0)),
+        ]);
+        f.block_mut(body).insts.extend([
+            Inst::load(t, Operand::Sym(a), i.into(), MemLoc::affine(a, 1, 0)),
+            Inst::alu(ilpc_ir::Opcode::FAdd, s, s.into(), t.into()),
+            Inst::alu(ilpc_ir::Opcode::Add, i, i.into(), Operand::ImmI(1)),
+            Inst::br(Cond::Lt, i.into(), n.into(), body),
+        ]);
+        f.block_mut(exit).insts.extend([
+            Inst::store(Operand::Sym(a), Operand::ImmI(0), s.into(), MemLoc::affine(a, 0, 0)),
+            Inst::halt(),
+        ]);
+        (m, entry, body, exit)
+    }
+
+    #[test]
+    fn loop_carried_values_live_around_backedge() {
+        let (m, entry, body, exit) = loop_func();
+        let lv = Liveness::compute(&m.func);
+        let i = ilpc_ir::Reg::int(0);
+        let n = ilpc_ir::Reg::int(1);
+        let s = ilpc_ir::Reg::flt(0);
+        let t = ilpc_ir::Reg::flt(1);
+        // i, n, s live into the body (loop-carried); t is block-local.
+        assert!(lv.live_in(body).contains(i));
+        assert!(lv.live_in(body).contains(n));
+        assert!(lv.live_in(body).contains(s));
+        assert!(!lv.live_in(body).contains(t));
+        // s live out of the loop into exit; i/n dead after the loop.
+        assert!(lv.live_in(exit).contains(s));
+        assert!(!lv.live_in(exit).contains(i));
+        // nothing live into entry
+        assert!(lv.live_in(entry).is_empty());
+        // nothing live out of exit
+        assert!(lv.live_out(exit).is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Dense register sets.
+//!
+//! Liveness and dataflow work over sets of virtual registers. Since register
+//! ids are dense per class, a pair of bit vectors is both compact and fast —
+//! the hot operations (union, difference-union in the liveness fixpoint) are
+//! word-parallel, per the hpc-parallel guidance of avoiding per-element hash
+//! operations in inner analysis loops.
+
+use ilpc_ir::{Reg, RegClass};
+
+/// A set of virtual registers, represented as two bit vectors (one per
+/// register class).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegSet {
+    words: [Vec<u64>; 2],
+}
+
+impl RegSet {
+    /// Empty set.
+    pub fn new() -> RegSet {
+        RegSet::default()
+    }
+
+    /// Empty set pre-sized for `counts` registers per class.
+    pub fn with_capacity(counts: [u32; 2]) -> RegSet {
+        RegSet {
+            words: [
+                vec![0; (counts[0] as usize + 63) / 64],
+                vec![0; (counts[1] as usize + 63) / 64],
+            ],
+        }
+    }
+
+    #[inline]
+    fn slot(r: Reg) -> (usize, usize, u64) {
+        (r.class.index(), (r.id / 64) as usize, 1u64 << (r.id % 64))
+    }
+
+    /// Insert `r`; returns true if newly inserted.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let (c, w, b) = Self::slot(r);
+        let words = &mut self.words[c];
+        if words.len() <= w {
+            words.resize(w + 1, 0);
+        }
+        let was = words[w] & b != 0;
+        words[w] |= b;
+        !was
+    }
+
+    /// Remove `r`; returns true if it was present.
+    pub fn remove(&mut self, r: Reg) -> bool {
+        let (c, w, b) = Self::slot(r);
+        if let Some(word) = self.words[c].get_mut(w) {
+            let was = *word & b != 0;
+            *word &= !b;
+            return was;
+        }
+        false
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: Reg) -> bool {
+        let (c, w, b) = Self::slot(r);
+        self.words[c].get(w).is_some_and(|word| word & b != 0)
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for c in 0..2 {
+            let (dst, src) = (&mut self.words[c], &other.words[c]);
+            if dst.len() < src.len() {
+                dst.resize(src.len(), 0);
+            }
+            for (d, s) in dst.iter_mut().zip(src) {
+                let next = *d | s;
+                changed |= next != *d;
+                *d = next;
+            }
+        }
+        changed
+    }
+
+    /// `self |= other \ minus`; returns true if `self` changed.
+    /// This is the liveness transfer `in = gen ∪ (out − kill)` inner step.
+    pub fn union_with_minus(&mut self, other: &RegSet, minus: &RegSet) -> bool {
+        let mut changed = false;
+        for c in 0..2 {
+            let dst = &mut self.words[c];
+            let src = &other.words[c];
+            if dst.len() < src.len() {
+                dst.resize(src.len(), 0);
+            }
+            for (w, s) in src.iter().enumerate() {
+                let m = minus.words[c].get(w).copied().unwrap_or(0);
+                let next = dst[w] | (s & !m);
+                changed |= next != dst[w];
+                dst[w] = next;
+            }
+        }
+        changed
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.words
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|v| v.iter().all(|w| *w == 0))
+    }
+
+    /// Iterate members.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        RegClass::ALL.iter().flat_map(move |&class| {
+            self.words[class.index()]
+                .iter()
+                .enumerate()
+                .flat_map(move |(wi, &word)| {
+                    (0..64).filter_map(move |bit| {
+                        if word & (1 << bit) != 0 {
+                            Some(Reg { id: (wi * 64 + bit) as u32, class })
+                        } else {
+                            None
+                        }
+                    })
+                })
+        })
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<T: IntoIterator<Item = Reg>>(iter: T) -> RegSet {
+        let mut s = RegSet::new();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = RegSet::new();
+        assert!(s.insert(Reg::int(3)));
+        assert!(!s.insert(Reg::int(3)));
+        assert!(s.insert(Reg::flt(3)));
+        assert!(s.contains(Reg::int(3)));
+        assert!(s.contains(Reg::flt(3)));
+        assert!(!s.contains(Reg::int(4)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(Reg::int(3)));
+        assert!(!s.remove(Reg::int(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_and_transfer() {
+        let a: RegSet = [Reg::int(1), Reg::int(100)].into_iter().collect();
+        let b: RegSet = [Reg::int(1), Reg::flt(2)].into_iter().collect();
+        let mut c = a.clone();
+        assert!(c.union_with(&b));
+        assert_eq!(c.len(), 3);
+        assert!(!c.union_with(&b)); // idempotent
+
+        // in = gen ∪ (out − kill)
+        let out: RegSet = [Reg::int(5), Reg::int(6)].into_iter().collect();
+        let kill: RegSet = [Reg::int(6)].into_iter().collect();
+        let mut inn: RegSet = [Reg::int(7)].into_iter().collect();
+        inn.union_with_minus(&out, &kill);
+        assert!(inn.contains(Reg::int(5)));
+        assert!(!inn.contains(Reg::int(6)));
+        assert!(inn.contains(Reg::int(7)));
+    }
+
+    #[test]
+    fn iter_roundtrip() {
+        let regs = vec![Reg::int(0), Reg::int(64), Reg::flt(1), Reg::flt(65)];
+        let s: RegSet = regs.iter().copied().collect();
+        let back: Vec<Reg> = s.iter().collect();
+        assert_eq!(back.len(), 4);
+        for r in regs {
+            assert!(back.contains(&r));
+        }
+    }
+}

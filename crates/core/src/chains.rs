@@ -1,0 +1,360 @@
+//! Detection of loop-carried update chains.
+//!
+//! After unrolling and renaming, a loop-carried scalar `V` updated once per
+//! body copy appears as a *chain* threading fresh names between copies:
+//!
+//! ```text
+//! d1: v1 = op(v0, x1)      ; v0 is the carried register (live in & out)
+//! d2: v2 = op(v1, x2)
+//! dk: v0 = op(v_{k-1}, xk) ; closing definition restores the carried name
+//! ```
+//!
+//! Accumulator variable expansion, induction variable expansion and (via
+//! the guarded-move variant) search variable expansion all start from this
+//! shape; this module finds the chains and classifies them.
+
+use ilpc_analysis::{DefUse, Liveness};
+use ilpc_ir::{BlockId, Function, Opcode, Operand, Reg, RegClass};
+
+/// The operation family of a chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainKind {
+    /// Integer `add`/`sub` links.
+    IntAdd,
+    /// Floating `fadd`/`fsub` links.
+    FltAdd,
+    /// Integer multiply links.
+    IntMul,
+    /// Floating multiply links.
+    FltMul,
+}
+
+impl ChainKind {
+    fn of(op: Opcode) -> Option<ChainKind> {
+        match op {
+            Opcode::Add | Opcode::Sub => Some(ChainKind::IntAdd),
+            Opcode::FAdd | Opcode::FSub => Some(ChainKind::FltAdd),
+            Opcode::Mul => Some(ChainKind::IntMul),
+            Opcode::FMul => Some(ChainKind::FltMul),
+            _ => None,
+        }
+    }
+
+    /// The operation used to combine per-copy partial results at loop exit.
+    pub fn combine_op(self) -> Opcode {
+        match self {
+            ChainKind::IntAdd => Opcode::Add,
+            ChainKind::FltAdd => Opcode::FAdd,
+            ChainKind::IntMul => Opcode::Mul,
+            ChainKind::FltMul => Opcode::FMul,
+        }
+    }
+
+    /// Identity element for the non-seed temporaries.
+    pub fn identity(self) -> Operand {
+        match self {
+            ChainKind::IntAdd => Operand::ImmI(0),
+            ChainKind::FltAdd => Operand::ImmF(0.0),
+            ChainKind::IntMul => Operand::ImmI(1),
+            ChainKind::FltMul => Operand::ImmF(1.0),
+        }
+    }
+
+    /// Register class of chain values.
+    pub fn class(self) -> RegClass {
+        match self {
+            ChainKind::IntAdd | ChainKind::IntMul => RegClass::Int,
+            ChainKind::FltAdd | ChainKind::FltMul => RegClass::Flt,
+        }
+    }
+}
+
+/// One detected chain within a block.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    /// Block containing the chain.
+    pub block: BlockId,
+    /// Carried register (`v0`), written by the closing definition.
+    pub carried: Reg,
+    /// Chain value registers `v0, v1, ..., v_{k-1}` (the closing def writes
+    /// `v0` again, so `regs.len() == k`).
+    pub regs: Vec<Reg>,
+    /// Instruction indices of `d1..dk` within the block, increasing.
+    pub defs: Vec<usize>,
+    /// The non-chain operand of each link (`x1..xk`).
+    pub increments: Vec<Operand>,
+    /// Operation family.
+    pub kind: ChainKind,
+}
+
+impl Chain {
+    /// Number of links (`k`).
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True when the chain has no links (never produced by the detector).
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+}
+
+/// Which source slot of `inst` continues the chain from `prev`, if any.
+/// Slot 0 always qualifies; slot 1 only for commutative ops.
+fn chain_src(inst: &ilpc_ir::Inst, prev: Reg) -> Option<usize> {
+    if inst.src[0].reg() == Some(prev) {
+        return Some(0);
+    }
+    if inst.op.is_commutative() && inst.src[1].reg() == Some(prev) {
+        return Some(1);
+    }
+    None
+}
+
+/// Find update chains in block `b` of a loop whose blocks are `loop_blocks`.
+///
+/// Conditions established here (shared by all expansion clients):
+/// * the carried register is live into and out of the block and has exactly
+///   one definition in the whole loop (the closing link);
+/// * every intermediate value register has exactly one definition;
+/// * links share one [`ChainKind`] and appear in increasing index order;
+/// * `k ≥ 2`.
+///
+/// Clients impose their own additional conditions (use counts, invariant
+/// increments, ...).
+pub fn find_chains(
+    f: &Function,
+    loop_blocks: &[BlockId],
+    b: BlockId,
+    lv: &Liveness,
+    du: &DefUse,
+) -> Vec<Chain> {
+    let insts = &f.block(b).insts;
+    let mut out = Vec::new();
+
+    // Count defs of each register within the loop.
+    let defs_in_loop = |r: Reg| -> usize {
+        loop_blocks
+            .iter()
+            .map(|&lb| {
+                f.block(lb)
+                    .insts
+                    .iter()
+                    .filter(|i| i.def() == Some(r))
+                    .count()
+            })
+            .sum()
+    };
+
+    for (close_idx, close) in insts.iter().enumerate() {
+        let Some(kind) = ChainKind::of(close.op) else { continue };
+        let Some(v0) = close.def() else { continue };
+        // v0 carried through the block.
+        if !lv.live_in(b).contains(v0) || !lv.live_out(b).contains(v0) {
+            continue;
+        }
+        if defs_in_loop(v0) != 1 {
+            continue;
+        }
+
+        // Walk the chain backwards from the closing def.
+        let mut defs_rev = vec![close_idx];
+        let mut regs_rev: Vec<Reg> = Vec::new();
+        let mut incs_rev: Vec<Operand> = Vec::new();
+        let mut cur_idx = close_idx;
+        let ok = loop {
+            let cur = &insts[cur_idx];
+            if ChainKind::of(cur.op) != Some(kind) {
+                break false;
+            }
+            // Identify the chain source; the other operand is the increment.
+            // First try "previous link register defined in this block".
+            let mut link: Option<(usize, Reg, usize)> = None; // (src slot, reg, def idx)
+            for slot in 0..2 {
+                if slot == 1 && !cur.op.is_commutative() {
+                    continue;
+                }
+                if let Some(r) = cur.src[slot].reg() {
+                    if r == v0 {
+                        continue; // chain start handled below
+                    }
+                    if let Some(didx) =
+                        (0..cur_idx).rev().find(|&i| insts[i].def() == Some(r))
+                    {
+                        if ChainKind::of(insts[didx].op) == Some(kind)
+                            && du.num_defs(r) == 1
+                        {
+                            link = Some((slot, r, didx));
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some((slot, r, didx)) = link {
+                incs_rev.push(cur.src[1 - slot]);
+                regs_rev.push(r);
+                defs_rev.push(didx);
+                cur_idx = didx;
+                continue;
+            }
+            // Otherwise the chain must start at v0.
+            if let Some(slot) = chain_src(cur, v0) {
+                incs_rev.push(cur.src[1 - slot]);
+                break true;
+            }
+            break false;
+        };
+        if !ok {
+            continue;
+        }
+        let k = defs_rev.len();
+        if k < 2 {
+            continue;
+        }
+        defs_rev.reverse();
+        // defs must be strictly increasing (walked backwards, so reversed
+        // order is increasing by construction).
+        debug_assert!(defs_rev.windows(2).all(|w| w[0] < w[1]));
+        regs_rev.reverse();
+        incs_rev.reverse();
+        // Intermediate regs must be defined exactly once in the function.
+        if regs_rev.iter().any(|r| du.num_defs(*r) != 1) {
+            continue;
+        }
+        let mut regs = vec![v0];
+        regs.extend(regs_rev);
+        out.push(Chain {
+            block: b,
+            carried: v0,
+            regs,
+            defs: defs_rev,
+            increments: incs_rev,
+            kind,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::inst::{Inst, MemLoc};
+    use ilpc_ir::{Cond, Module, Operand};
+
+    /// Renamed 3×-unrolled accumulation: s1 = s+x1; s2 = s1+x2; s = s2+x3.
+    fn chain_module() -> (Module, BlockId, Reg) {
+        let mut m = Module::new("t");
+        let a = m.symtab.declare("A", 16, RegClass::Flt);
+        let f = &mut m.func;
+        let i = f.new_reg(RegClass::Int);
+        let s = f.new_reg(RegClass::Flt);
+        let s1 = f.new_reg(RegClass::Flt);
+        let s2 = f.new_reg(RegClass::Flt);
+        let x: Vec<Reg> = (0..3).map(|_| f.new_reg(RegClass::Flt)).collect();
+        let entry = f.add_block("entry");
+        let body = f.add_block("body");
+        let exit = f.add_block("exit");
+        f.block_mut(entry).insts.extend([
+            Inst::mov(i, Operand::ImmI(0)),
+            Inst::mov(s, Operand::ImmF(0.0)),
+        ]);
+        f.block_mut(body).insts.extend([
+            Inst::load(x[0], Operand::Sym(a), i.into(), MemLoc::affine(a, 1, 0)),
+            Inst::alu(Opcode::FAdd, s1, s.into(), x[0].into()),
+            Inst::load(x[1], Operand::Sym(a), i.into(), MemLoc::affine(a, 1, 1)),
+            Inst::alu(Opcode::FAdd, s2, s1.into(), x[1].into()),
+            Inst::load(x[2], Operand::Sym(a), i.into(), MemLoc::affine(a, 1, 2)),
+            Inst::alu(Opcode::FSub, s, s2.into(), x[2].into()),
+            Inst::alu(Opcode::Add, i, i.into(), Operand::ImmI(3)),
+            Inst::br(Cond::Lt, i.into(), Operand::ImmI(12), body),
+        ]);
+        f.block_mut(exit).insts.extend([
+            Inst::store(Operand::Sym(a), Operand::ImmI(0), s.into(), MemLoc::affine(a, 0, 0)),
+            Inst::halt(),
+        ]);
+        (m, body, s)
+    }
+
+    #[test]
+    fn detects_fadd_chain() {
+        let (m, body, s) = chain_module();
+        let lv = Liveness::compute(&m.func);
+        let du = DefUse::compute(&m.func);
+        let chains = find_chains(&m.func, &[body], body, &lv, &du);
+        let c = chains
+            .iter()
+            .find(|c| c.carried == s)
+            .expect("accumulator chain found");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.kind, ChainKind::FltAdd);
+        assert_eq!(c.defs, vec![1, 3, 5]);
+        assert_eq!(c.regs[0], s);
+        // Increments are the loaded values.
+        assert_eq!(c.increments.len(), 3);
+    }
+
+    #[test]
+    fn single_link_not_a_chain() {
+        // s = s + x once: k = 1 -> no chain.
+        let mut m = Module::new("t");
+        let a = m.symtab.declare("A", 8, RegClass::Flt);
+        let f = &mut m.func;
+        let i = f.new_reg(RegClass::Int);
+        let s = f.new_reg(RegClass::Flt);
+        let x = f.new_reg(RegClass::Flt);
+        let entry = f.add_block("entry");
+        let body = f.add_block("body");
+        let exit = f.add_block("exit");
+        f.block_mut(entry).insts.extend([
+            Inst::mov(i, Operand::ImmI(0)),
+            Inst::mov(s, Operand::ImmF(0.0)),
+        ]);
+        f.block_mut(body).insts.extend([
+            Inst::load(x, Operand::Sym(a), i.into(), MemLoc::affine(a, 1, 0)),
+            Inst::alu(Opcode::FAdd, s, s.into(), x.into()),
+            Inst::alu(Opcode::Add, i, i.into(), Operand::ImmI(1)),
+            Inst::br(Cond::Lt, i.into(), Operand::ImmI(8), body),
+        ]);
+        f.block_mut(exit).insts.extend([
+            Inst::store(Operand::Sym(a), Operand::ImmI(0), s.into(), MemLoc::affine(a, 0, 0)),
+            Inst::halt(),
+        ]);
+        let lv = Liveness::compute(&m.func);
+        let du = DefUse::compute(&m.func);
+        let chains = find_chains(&m.func, &[body], body, &lv, &du);
+        assert!(chains.iter().all(|c| c.carried != s));
+    }
+
+    #[test]
+    fn detects_induction_chain_with_uses() {
+        // Renamed induction chain i1 = i+1 (used by load), i = i1+1.
+        let mut m = Module::new("t");
+        let a = m.symtab.declare("A", 8, RegClass::Flt);
+        let f = &mut m.func;
+        let i = f.new_reg(RegClass::Int);
+        let i1 = f.new_reg(RegClass::Int);
+        let v0 = f.new_reg(RegClass::Flt);
+        let v1 = f.new_reg(RegClass::Flt);
+        let entry = f.add_block("entry");
+        let body = f.add_block("body");
+        let exit = f.add_block("exit");
+        f.block_mut(entry).insts.push(Inst::mov(i, Operand::ImmI(0)));
+        f.block_mut(body).insts.extend([
+            Inst::load(v0, Operand::Sym(a), i.into(), MemLoc::affine(a, 1, 0)),
+            Inst::alu(Opcode::Add, i1, i.into(), Operand::ImmI(1)),
+            Inst::load(v1, Operand::Sym(a), i1.into(), MemLoc::affine(a, 1, 1)),
+            Inst::store(Operand::Sym(a), i.into(), v1.into(), MemLoc::affine(a, 1, 0)),
+            Inst::store(Operand::Sym(a), i1.into(), v0.into(), MemLoc::affine(a, 1, 1)),
+            Inst::alu(Opcode::Add, i, i1.into(), Operand::ImmI(1)),
+            Inst::br(Cond::Lt, i.into(), Operand::ImmI(8), body),
+        ]);
+        f.block_mut(exit).insts.push(Inst::halt());
+        let lv = Liveness::compute(&m.func);
+        let du = DefUse::compute(&m.func);
+        let chains = find_chains(&m.func, &[body], body, &lv, &du);
+        let c = chains.iter().find(|c| c.carried == i).expect("chain");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.kind, ChainKind::IntAdd);
+        assert_eq!(c.increments, vec![Operand::ImmI(1), Operand::ImmI(1)]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Transformation levels (the paper's §3.2 configurations).
+//!
+//! * **Conv** — conventional scalar optimizations only (`ilpc-opt`).
+//! * **Lev1** — Conv + loop unrolling (max 8×, body-size capped).
+//! * **Lev2** — Lev1 + register renaming.
+//! * **Lev3** — Lev2 + operation combining, strength reduction, tree height
+//!   reduction.
+//! * **Lev4** — Lev3 + accumulator / induction / search variable expansion.
+//!
+//! "Each successive level includes all transformations from previous
+//! levels."
+
+use crate::accum::accumulator_expand;
+use crate::combine::operation_combine;
+use crate::induct::induction_expand;
+use crate::rename::rename_loops;
+use crate::search::search_expand;
+use crate::strength::strength_reduce;
+use crate::threduce::tree_height_reduce;
+use crate::unroll::{unroll_inner_loops, UnrollConfig};
+use ilpc_ir::Module;
+use ilpc_opt::{cleanup, conventional, dce, fold_add_chains, simplify_cfg};
+use std::fmt;
+
+/// Optimization level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    Conv,
+    Lev1,
+    Lev2,
+    Lev3,
+    Lev4,
+}
+
+impl Level {
+    /// All levels, in increasing order.
+    pub const ALL: [Level; 5] =
+        [Level::Conv, Level::Lev1, Level::Lev2, Level::Lev3, Level::Lev4];
+
+    /// Paper-style short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Conv => "Conv",
+            Level::Lev1 => "Lev1",
+            Level::Lev2 => "Lev2",
+            Level::Lev3 => "Lev3",
+            Level::Lev4 => "Lev4",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Counts of transformation applications (reported by the harness and used
+/// by tests; mirrors the paper's discussion of which transformations fire).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransformReport {
+    pub loops_unrolled: usize,
+    pub unroll_factor_total: usize,
+    pub defs_renamed: usize,
+    pub combines: usize,
+    pub strength_reductions: usize,
+    pub trees_reduced: usize,
+    pub accumulators_expanded: usize,
+    pub inductions_expanded: usize,
+    pub searches_expanded: usize,
+}
+
+/// Apply `level` to `m` (which must be freshly lowered, unoptimized IR).
+pub fn apply_level(m: &mut Module, level: Level, ucfg: &UnrollConfig) -> TransformReport {
+    let mut rep = TransformReport::default();
+
+    // Conventional optimization is the baseline for every level.
+    conventional(m);
+
+    if level >= Level::Lev1 {
+        let unrolled = unroll_inner_loops(m, ucfg);
+        rep.loops_unrolled = unrolled.len();
+        rep.unroll_factor_total = unrolled.iter().map(|u| u.factor).sum();
+        // Post-unroll cleanup: collapse use-free counter chains (classical
+        // induction variable elimination, Figure 5c), fold constants in the
+        // preconditioning code, merge straight-line copies into superblock
+        // seeds.
+        fold_add_chains(&mut m.func);
+        dce(&mut m.func);
+        simplify_cfg(&mut m.func);
+        cleanup(&mut m.func);
+    }
+
+    if level >= Level::Lev2 {
+        rep.defs_renamed = rename_loops(m);
+        // Renaming introduces no new redundancy; a DCE pass tidies up any
+        // now-unused restored names.
+        dce(&mut m.func);
+    }
+
+    if level >= Level::Lev3 {
+        rep.combines = operation_combine(m);
+        rep.strength_reductions = strength_reduce(m);
+        rep.trees_reduced = tree_height_reduce(m);
+        dce(&mut m.func);
+    }
+
+    if level >= Level::Lev4 {
+        rep.accumulators_expanded = accumulator_expand(m);
+        rep.inductions_expanded = induction_expand(m);
+        rep.searches_expanded = search_expand(m);
+        dce(&mut m.func);
+        // Expansion exposes more combinable pairs (paper §3.2: "the
+        // effectiveness of other transformations ... becomes more apparent
+        // with fewer dependences present").
+        rep.combines += operation_combine(m);
+        rep.trees_reduced += tree_height_reduce(m);
+        dce(&mut m.func);
+    }
+
+    debug_assert!(
+        ilpc_ir::verify::verify_module(m).is_ok(),
+        "level pipeline broke the IR: {:?}",
+        ilpc_ir::verify::verify_module(m)
+    );
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::ast::{Bound, Expr, Index, Program, Stmt};
+    use ilpc_ir::lower::lower;
+    use ilpc_ir::Opcode;
+
+    fn dotprod() -> Program {
+        let mut p = Program::new("dotprod");
+        let i = p.int_var("i");
+        let s = p.flt_var("s");
+        let a = p.flt_arr("A", 64);
+        let b = p.flt_arr("B", 64);
+        p.body = vec![Stmt::For {
+            var: i,
+            lo: Bound::Const(0),
+            hi: Bound::Const(63),
+            body: vec![Stmt::SetScalar(
+                s,
+                Expr::add(
+                    Expr::Var(s),
+                    Expr::mul(Expr::at(a, Index::var(i)), Expr::at(b, Index::var(i))),
+                ),
+            )],
+        }];
+        p
+    }
+
+    #[test]
+    fn levels_are_cumulative_and_verify() {
+        for level in Level::ALL {
+            let mut l = lower(&dotprod());
+            let rep = apply_level(&mut l.module, level, &UnrollConfig::default());
+            ilpc_ir::verify::verify_module(&l.module).unwrap();
+            match level {
+                Level::Conv => assert_eq!(rep.loops_unrolled, 0),
+                Level::Lev1 => {
+                    assert_eq!(rep.loops_unrolled, 1);
+                    assert_eq!(rep.defs_renamed, 0);
+                }
+                Level::Lev2 => assert!(rep.defs_renamed > 0),
+                Level::Lev3 => assert!(rep.defs_renamed > 0),
+                Level::Lev4 => {
+                    assert!(
+                        rep.accumulators_expanded >= 1,
+                        "dot product accumulator must expand: {rep:?}"
+                    );
+                    assert!(
+                        rep.inductions_expanded >= 1,
+                        "unrolled index chain must expand: {rep:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lev4_dotprod_has_independent_multiply_accumulates() {
+        let mut l = lower(&dotprod());
+        apply_level(&mut l.module, Level::Lev4, &UnrollConfig::default());
+        let f = &l.module.func;
+        // Find the main unrolled loop: the biggest block with a backedge.
+        let forest = ilpc_analysis::LoopForest::compute(f);
+        let mut best: Option<(usize, Vec<Opcode>)> = None;
+        for lp in forest.inner_loops() {
+            let insts: Vec<Opcode> = lp
+                .blocks
+                .iter()
+                .flat_map(|&b| f.block(b).insts.iter().map(|i| i.op))
+                .collect();
+            if best.as_ref().is_none_or(|(n, _)| insts.len() > *n) {
+                best = Some((insts.len(), insts));
+            }
+        }
+        let (_, ops) = best.unwrap();
+        let fadds = ops.iter().filter(|o| **o == Opcode::FAdd).count();
+        let fmuls = ops.iter().filter(|o| **o == Opcode::FMul).count();
+        assert_eq!(fadds, fmuls, "one accumulate per product");
+        assert!(fadds >= 4, "unrolled at least 4x, got {fadds}");
+    }
+
+    #[test]
+    fn level_ordering() {
+        assert!(Level::Conv < Level::Lev1);
+        assert!(Level::Lev3 < Level::Lev4);
+        assert_eq!(Level::Lev2.name(), "Lev2");
+    }
+}

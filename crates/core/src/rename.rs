@@ -1,0 +1,198 @@
+//! Register renaming.
+//!
+//! "Register renaming assigns unique registers to different definitions of
+//! the same register. A common use of register renaming is to rename
+//! registers within individual loop bodies of an unrolled loop."
+//!
+//! The implementation is block-local value renaming: within each block of a
+//! loop, every definition receives a fresh virtual register and subsequent
+//! uses are rewritten to the newest name. For a register that is live out of
+//! the block (loop-carried values like the induction chain), the *final*
+//! name is folded back to the original register so code outside the block —
+//! and the next iteration — observes the canonical name. This reproduces
+//! exactly the paper's Figure 1d/3c shapes: the unrolled induction chain
+//! `r12i = r11i+4; r13i = r12i+4; r11i = r13i+4` with per-body loads using
+//! distinct registers, and anti/output dependences between bodies removed.
+
+use ilpc_analysis::{Liveness, LoopForest};
+use ilpc_ir::{BlockId, Function, Module, Reg};
+use std::collections::HashMap;
+
+/// Rename definitions within one block. Returns the number of renamed defs.
+fn rename_block(f: &mut Function, b: BlockId, live_out: &ilpc_analysis::RegSet) -> usize {
+    // First pass: walk forward, giving each def a fresh name.
+    let mut cur: HashMap<Reg, Reg> = HashMap::new();
+    let mut renamed = 0usize;
+    let n_insts = f.block(b).insts.len();
+    for idx in 0..n_insts {
+        // Rewrite uses to the newest name.
+        let mut inst = f.block(b).insts[idx].clone();
+        for s in &mut inst.src {
+            if let Some(r) = s.reg() {
+                if let Some(&nr) = cur.get(&r) {
+                    *s = nr.into();
+                }
+            }
+        }
+        if let Some(d) = inst.dst {
+            let fresh = f.new_reg(d.class);
+            cur.insert(d, fresh);
+            inst.dst = Some(fresh);
+            renamed += 1;
+        }
+        f.block_mut(b).insts[idx] = inst;
+    }
+
+    // Second pass: for every original register live out of the block, fold
+    // its final fresh name back to the original register throughout the
+    // block (the fresh name is unique, so a blanket rewrite is safe).
+    for (orig, last) in cur {
+        if live_out.contains(orig) {
+            for inst in &mut f.block_mut(b).insts {
+                if inst.dst == Some(last) {
+                    inst.dst = Some(orig);
+                }
+                inst.replace_use(last, orig.into());
+            }
+        }
+    }
+    renamed
+}
+
+/// Apply register renaming to every block of every loop in `m`.
+/// Returns the number of definitions renamed.
+pub fn rename_loops(m: &mut Module) -> usize {
+    let forest = LoopForest::compute(&m.func);
+    let lv = Liveness::compute(&m.func);
+    // Collect loop blocks once (a block may belong to nested loops).
+    let mut blocks: Vec<BlockId> = forest
+        .loops
+        .iter()
+        .flat_map(|l| l.blocks.iter().copied())
+        .collect();
+    blocks.sort_unstable();
+    blocks.dedup();
+
+    let mut count = 0;
+    for b in blocks {
+        count += rename_block(&mut m.func, b, lv.live_out(b));
+    }
+    debug_assert!(
+        ilpc_ir::verify::verify_module(m).is_ok(),
+        "renaming broke the IR: {:?}",
+        ilpc_ir::verify::verify_module(m)
+    );
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::inst::{Inst, MemLoc};
+    use ilpc_ir::{Cond, Opcode, Operand, RegClass};
+
+    /// Build the paper's Figure 1c unrolled body (3 copies, shared names)
+    /// and check renaming produces the Figure 1d structure.
+    #[test]
+    fn reproduces_fig1d_renaming() {
+        let mut m = Module::new("fig1");
+        let a = m.symtab.declare("A", 16, RegClass::Flt);
+        let c = m.symtab.declare("C", 16, RegClass::Flt);
+        let f = &mut m.func;
+        let r1 = f.new_reg(RegClass::Int); // induction
+        let r5 = f.new_reg(RegClass::Int); // bound
+        let r2 = f.new_reg(RegClass::Flt);
+        let r4 = f.new_reg(RegClass::Flt);
+        let entry = f.add_block("entry");
+        let body = f.add_block("body");
+        let exit = f.add_block("exit");
+        f.block_mut(entry).insts.extend([
+            Inst::mov(r1, Operand::ImmI(0)),
+            Inst::mov(r5, Operand::ImmI(12)),
+        ]);
+        let mut insts = Vec::new();
+        for p in 0..3 {
+            insts.push(Inst::load(r2, Operand::Sym(a), r1.into(), MemLoc::affine(a, 1, p)));
+            insts.push(Inst::alu(Opcode::FAdd, r4, r2.into(), r2.into()));
+            insts.push(Inst::store(Operand::Sym(c), r1.into(), r4.into(), MemLoc::affine(c, 1, p)));
+            insts.push(Inst::alu(Opcode::Add, r1, r1.into(), Operand::ImmI(1)));
+        }
+        insts.push(Inst::br(Cond::Lt, r1.into(), r5.into(), body));
+        f.block_mut(body).insts = insts;
+        f.block_mut(exit).insts.push(Inst::halt());
+
+        let renamed = rename_loops(&mut m);
+        assert!(renamed > 0);
+        let f = &m.func;
+        let insts = &f.block(body).insts;
+
+        // All three loads define distinct registers now.
+        let load_dsts: Vec<Reg> = insts
+            .iter()
+            .filter(|i| i.op == Opcode::Load)
+            .map(|i| i.dst.unwrap())
+            .collect();
+        assert_eq!(load_dsts.len(), 3);
+        assert!(load_dsts[0] != load_dsts[1] && load_dsts[1] != load_dsts[2]);
+
+        // The induction chain: first two adds write fresh regs, the final
+        // add restores the loop-carried name r1 (it is live around the
+        // backedge), and the backedge compares r1.
+        let add_dsts: Vec<Reg> = insts
+            .iter()
+            .filter(|i| i.op == Opcode::Add)
+            .map(|i| i.dst.unwrap())
+            .collect();
+        assert_eq!(add_dsts.len(), 3);
+        assert_ne!(add_dsts[0], add_dsts[1]);
+        assert_eq!(add_dsts[2], r1, "closing def restores carried name");
+        let br = insts.last().unwrap();
+        assert_eq!(br.src[0].reg(), Some(r1));
+
+        // Chain links: add_p+1 reads add_p's dst.
+        let adds: Vec<&Inst> = insts.iter().filter(|i| i.op == Opcode::Add).collect();
+        assert_eq!(adds[1].src[0].reg(), Some(adds[0].dst.unwrap()));
+        assert_eq!(adds[2].src[0].reg(), Some(adds[1].dst.unwrap()));
+
+        // Loads of body p>0 use the renamed induction values.
+        let loads: Vec<&Inst> = insts.iter().filter(|i| i.op == Opcode::Load).collect();
+        assert_eq!(loads[1].src[1].reg(), Some(adds[0].dst.unwrap()));
+        assert_eq!(loads[2].src[1].reg(), Some(adds[1].dst.unwrap()));
+    }
+
+    #[test]
+    fn block_local_values_not_restored() {
+        // A temp dead at block end keeps its fresh name; the carried
+        // accumulator keeps its original name.
+        let mut m = Module::new("t");
+        let a = m.symtab.declare("A", 8, RegClass::Flt);
+        let f = &mut m.func;
+        let i = f.new_reg(RegClass::Int);
+        let s = f.new_reg(RegClass::Flt);
+        let t = f.new_reg(RegClass::Flt);
+        let entry = f.add_block("entry");
+        let body = f.add_block("body");
+        let exit = f.add_block("exit");
+        f.block_mut(entry).insts.extend([
+            Inst::mov(i, Operand::ImmI(0)),
+            Inst::mov(s, Operand::ImmF(0.0)),
+        ]);
+        f.block_mut(body).insts.extend([
+            Inst::load(t, Operand::Sym(a), i.into(), MemLoc::affine(a, 1, 0)),
+            Inst::alu(Opcode::FAdd, s, s.into(), t.into()),
+            Inst::alu(Opcode::Add, i, i.into(), Operand::ImmI(1)),
+            Inst::br(Cond::Lt, i.into(), Operand::ImmI(8), body),
+        ]);
+        f.block_mut(exit).insts.extend([
+            Inst::store(Operand::Sym(a), Operand::ImmI(0), s.into(), MemLoc::affine(a, 0, 0)),
+            Inst::halt(),
+        ]);
+        rename_loops(&mut m);
+        let insts = &m.func.block(body).insts;
+        // Accumulator def restored to s (carried + used at exit).
+        assert_eq!(insts[1].dst, Some(s));
+        // i restored (carried).
+        assert_eq!(insts[2].dst, Some(i));
+        assert_eq!(insts[3].src[0].reg(), Some(i));
+    }
+}

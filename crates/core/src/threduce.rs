@@ -1,0 +1,520 @@
+//! Tree height reduction (Baer–Bovet style, on intermediate code).
+//!
+//! "Tree height reduction first constructs an expression tree [...] The tree
+//! is then balanced to reduce the height. [...] This tree height reduction
+//! algorithm utilizes commutativity and associativity [...] It does not
+//! apply the distributive property."
+//!
+//! Linear chains of `+`/`−` (or `*`/`/`) whose intermediate values are used
+//! exactly once are collected into term lists and re-emitted as balanced
+//! trees. Division chains use the paper's Figure 7 trick: the denominators
+//! are folded into a single divide that runs *in parallel* with the
+//! balanced numerator product and is multiplied in at the end
+//! (`B*(C+D)*E*F/G` → `((C+D)*(B*E)) * (F/G)`, 22 → 13 cycles).
+//!
+//! Integer chains reassociate exactly (wrapping arithmetic); floating point
+//! chains reassociate with the usual rounding caveat, exactly as the
+//! paper's compiler does.
+
+use ilpc_analysis::DefUse;
+use ilpc_ir::{Function, Inst, Module, Opcode, Operand, Reg, RegClass};
+
+/// Expression family of a chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Family {
+    /// Integer add/sub (recognized for completeness; see [`Family::of`] for
+    /// why it is never produced by the matcher).
+    #[allow(dead_code)]
+    AddI,
+    AddF,
+    MulI,
+    MulF,
+}
+
+impl Family {
+    fn of(op: Opcode) -> Option<Family> {
+        match op {
+            // Integer add/sub chains are deliberately NOT rebalanced: the
+            // renamed induction chains of unrolled loops are integer add
+            // chains, and they belong to induction variable expansion
+            // (Lev4), not height reduction (Lev3). The paper's height
+            // reducer targets arithmetic *expressions*.
+            Opcode::FAdd | Opcode::FSub => Some(Family::AddF),
+            Opcode::Mul => Some(Family::MulI),
+            Opcode::FMul | Opcode::FDiv => Some(Family::MulF),
+            _ => None,
+        }
+    }
+
+    fn pos_op(self) -> Opcode {
+        match self {
+            Family::AddI => Opcode::Add,
+            Family::AddF => Opcode::FAdd,
+            Family::MulI => Opcode::Mul,
+            Family::MulF => Opcode::FMul,
+        }
+    }
+
+    fn neg_op(self) -> Opcode {
+        match self {
+            Family::AddI => Opcode::Sub,
+            Family::AddF => Opcode::FSub,
+            Family::MulI => Opcode::Mul, // unused (no integer division chains)
+            Family::MulF => Opcode::FDiv,
+        }
+    }
+
+    fn class(self) -> RegClass {
+        match self {
+            Family::AddI | Family::MulI => RegClass::Int,
+            Family::AddF | Family::MulF => RegClass::Flt,
+        }
+    }
+}
+
+/// A collected term: operand plus polarity (negated / denominator).
+#[derive(Debug, Clone, Copy)]
+struct Term {
+    op: Operand,
+    neg: bool,
+}
+
+struct Collector<'a> {
+    insts: &'a [Inst],
+    du: &'a DefUse,
+    family: Family,
+    /// Indices of collapsed chain instructions.
+    collapsed: Vec<usize>,
+    terms: Vec<Term>,
+}
+
+impl<'a> Collector<'a> {
+    /// Definition index of `r` in this block before `before`, if unique-use.
+    fn chain_def(&self, r: Reg, before: usize) -> Option<usize> {
+        if self.du.num_uses(r) != 1 || self.du.num_defs(r) != 1 {
+            return None;
+        }
+        let di = (0..before).rev().find(|&i| self.insts[i].def() == Some(r))?;
+        (Family::of(self.insts[di].op) == Some(self.family)).then_some(di)
+    }
+
+    fn collect(&mut self, o: Operand, neg: bool, pos: usize) {
+        if let Some(r) = o.reg() {
+            if let Some(di) = self.chain_def(r, pos) {
+                let inst = &self.insts[di];
+                self.collapsed.push(di);
+                let flip = matches!(inst.op, Opcode::Sub | Opcode::FSub | Opcode::FDiv);
+                self.collect(inst.src[0], neg, di);
+                self.collect(inst.src[1], if flip { !neg } else { neg }, di);
+                return;
+            }
+        }
+        self.terms.push(Term { op: o, neg });
+    }
+}
+
+/// Emit a balanced reduction of `terms` with `op`, returning the operand of
+/// the result (inserting instructions into `out`).
+fn balanced(
+    f: &mut Function,
+    out: &mut Vec<Inst>,
+    op: Opcode,
+    class: RegClass,
+    mut terms: Vec<Operand>,
+) -> Operand {
+    assert!(!terms.is_empty());
+    while terms.len() > 1 {
+        let mut next = Vec::with_capacity(terms.len().div_ceil(2));
+        let mut it = terms.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => {
+                    let t = f.new_reg(class);
+                    out.push(Inst::alu(op, t, a, b));
+                    next.push(t.into());
+                }
+                None => next.push(a),
+            }
+        }
+        terms = next;
+    }
+    terms.pop().unwrap()
+}
+
+/// Rebuild one chain rooted at `root_idx`; returns the replacement sequence
+/// (ending with a write to the root destination).
+fn rebuild(
+    f: &mut Function,
+    family: Family,
+    dst: Reg,
+    terms: &[Term],
+) -> Vec<Inst> {
+    let mut out = Vec::new();
+    let class = family.class();
+    let pos: Vec<Operand> = terms.iter().filter(|t| !t.neg).map(|t| t.op).collect();
+    let neg: Vec<Operand> = terms.iter().filter(|t| t.neg).map(|t| t.op).collect();
+
+    let result: Operand = match family {
+        Family::AddI | Family::AddF => {
+            let zero = if class == RegClass::Int {
+                Operand::ImmI(0)
+            } else {
+                Operand::ImmF(0.0)
+            };
+            let p = if pos.is_empty() {
+                zero
+            } else {
+                balanced(f, &mut out, family.pos_op(), class, pos)
+            };
+            if neg.is_empty() {
+                p
+            } else {
+                let n = balanced(f, &mut out, family.pos_op(), class, neg);
+                let t = f.new_reg(class);
+                out.push(Inst::alu(family.neg_op(), t, p, n));
+                t.into()
+            }
+        }
+        Family::MulI => {
+            debug_assert!(neg.is_empty());
+            balanced(f, &mut out, Opcode::Mul, class, pos)
+        }
+        Family::MulF => {
+            if neg.is_empty() {
+                balanced(f, &mut out, Opcode::FMul, class, pos)
+            } else {
+                // Figure 7: fold denominators with one numerator into a
+                // divide that overlaps the balanced numerator product.
+                let mut nums = pos;
+                let d = balanced(f, &mut out, Opcode::FMul, class, neg);
+                let seed = nums.pop().unwrap_or(Operand::ImmF(1.0));
+                let unit = f.new_reg(class);
+                out.push(Inst::alu(Opcode::FDiv, unit, seed, d));
+                if nums.is_empty() {
+                    unit.into()
+                } else {
+                    let p = balanced(f, &mut out, Opcode::FMul, class, nums);
+                    let t = f.new_reg(class);
+                    out.push(Inst::alu(Opcode::FMul, t, p, unit.into()));
+                    t.into()
+                }
+            }
+        }
+    };
+    match out.last_mut() {
+        Some(last) if last.def().map(Operand::Reg) == Some(result) => {
+            last.dst = Some(dst);
+        }
+        _ => out.push(Inst::mov(dst, result)),
+    }
+    out
+}
+
+/// Apply tree height reduction to every block; returns chains rebalanced.
+pub fn tree_height_reduce(m: &mut Module) -> usize {
+    let mut count = 0;
+    let f = &mut m.func;
+    for &bid in f.layout_order().to_vec().iter() {
+        loop {
+            let du = DefUse::compute(f);
+            let insts = f.block(bid).insts.clone();
+            // Find a root: a chain op whose result is NOT itself a
+            // single-use operand of a same-family op later in the block.
+            let mut plan: Option<(usize, Family, Vec<usize>, Vec<Term>)> = None;
+            for (ri, inst) in insts.iter().enumerate() {
+                let Some(family) = Family::of(inst.op) else { continue };
+                let Some(dst) = inst.def() else { continue };
+                // A chain that both reads and rewrites the same register is
+                // a loop-carried recurrence (an accumulator), not an
+                // arithmetic expression: leave it for accumulator variable
+                // expansion (Lev4). Quick pre-filter; the precise check on
+                // the collected terms happens below.
+                let self_recurrent = inst.uses().any(|u| u == dst);
+                if self_recurrent {
+                    continue;
+                }
+                // Root check: not consumed by a same-family chain op.
+                let consumed = du.num_uses(dst) == 1
+                    && insts.iter().enumerate().any(|(j, u)| {
+                        j > ri
+                            && Family::of(u.op) == Some(family)
+                            && u.uses().any(|x| x == dst)
+                            && u.def().is_some()
+                    });
+                if consumed {
+                    continue;
+                }
+                let mut coll = Collector {
+                    insts: &insts,
+                    du: &du,
+                    family,
+                    collapsed: vec![ri],
+                    terms: Vec::new(),
+                };
+                let flip = matches!(inst.op, Opcode::Sub | Opcode::FSub | Opcode::FDiv);
+                coll.collect(inst.src[0], false, ri);
+                coll.collect(inst.src[1], flip, ri);
+                if coll.terms.len() < 4 || coll.collapsed.len() < 3 {
+                    continue;
+                }
+                // Precise recurrence check: the root's destination appearing
+                // among the leaves means the chain accumulates into itself.
+                if coll.terms.iter().any(|t| t.op.reg() == Some(dst)) {
+                    continue;
+                }
+                // Profitability / termination: the balanced tree must be
+                // strictly shallower than the existing one (unit-latency
+                // heights; the scheduler realizes the actual latencies).
+                let ceil_log2 = |n: usize| -> u32 {
+                    usize::BITS - n.max(1).saturating_sub(1).leading_zeros()
+                };
+                let npos = coll.terms.iter().filter(|t| !t.neg).count();
+                let nneg = coll.terms.len() - npos;
+                let new_depth = match family {
+                    Family::AddI | Family::AddF | Family::MulI => {
+                        if nneg == 0 {
+                            ceil_log2(npos)
+                        } else if npos == 0 {
+                            ceil_log2(nneg) + 1
+                        } else {
+                            ceil_log2(npos).max(ceil_log2(nneg)) + 1
+                        }
+                    }
+                    Family::MulF => {
+                        if nneg == 0 {
+                            ceil_log2(npos)
+                        } else {
+                            let unit = ceil_log2(nneg) + 1;
+                            let nums = npos.saturating_sub(1);
+                            if nums == 0 {
+                                unit
+                            } else {
+                                ceil_log2(nums).max(unit) + 1
+                            }
+                        }
+                    }
+                };
+                // Existing height of the collapsed tree.
+                fn depth_of(
+                    insts: &[Inst],
+                    collapsed: &[usize],
+                    idx: usize,
+                ) -> u32 {
+                    let mut h = 0;
+                    for s in insts[idx].src.iter().filter_map(|s| s.reg()) {
+                        if let Some(&di) = collapsed
+                            .iter()
+                            .find(|&&d| d < idx && insts[d].def() == Some(s))
+                        {
+                            h = h.max(depth_of(insts, collapsed, di));
+                        }
+                    }
+                    h + 1
+                }
+                let old_depth = depth_of(&insts, &coll.collapsed, ri);
+                if new_depth >= old_depth {
+                    continue;
+                }
+                // Safety: the rebuilt tree reads every leaf at the *root*
+                // position. A leaf register whose value changes between a
+                // collapsed instruction's original read and the root would
+                // change meaning — reject those chains. (A leaf merely
+                // *defined* inside the window is fine as long as no
+                // collapsed instruction read it before that definition.)
+                let leaf_regs: Vec<Reg> =
+                    coll.terms.iter().filter_map(|t| t.op.reg()).collect();
+                let safe = coll.collapsed.iter().all(|&ci| {
+                    insts[ci]
+                        .src
+                        .iter()
+                        .filter_map(|s| s.reg())
+                        .filter(|r| leaf_regs.contains(r))
+                        .all(|r| {
+                            // No non-collapsed def of r in (ci, ri].
+                            (ci + 1..=ri).all(|j| {
+                                coll.collapsed.contains(&j)
+                                    || insts[j].def() != Some(r)
+                            })
+                        })
+                });
+                if !safe {
+                    continue;
+                }
+                plan = Some((ri, family, coll.collapsed, coll.terms));
+                break;
+            }
+            let Some((ri, family, collapsed, terms)) = plan else { break };
+            let dst = insts[ri].def().unwrap();
+            let seq = rebuild(f, family, dst, &terms);
+            // Splice: drop collapsed instructions, insert `seq` at the root.
+            let block = f.block_mut(bid);
+            let mut new_insts = Vec::with_capacity(block.insts.len() + seq.len());
+            for (j, inst) in block.insts.iter().enumerate() {
+                if j == ri {
+                    new_insts.extend(seq.iter().cloned());
+                } else if !collapsed.contains(&j) {
+                    new_insts.push(inst.clone());
+                }
+            }
+            block.insts = new_insts;
+            count += 1;
+        }
+    }
+    debug_assert!(
+        ilpc_ir::verify::verify_module(m).is_ok(),
+        "tree height reduction broke the IR: {:?}",
+        ilpc_ir::verify::verify_module(m)
+    );
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 7: A = B * (C + D) * E * F / G, left-associated input.
+    fn fig7_module() -> (Module, ilpc_ir::BlockId, Vec<Reg>) {
+        let mut m = Module::new("fig7");
+        let out = m.symtab.declare("A", 1, RegClass::Flt);
+        let f = &mut m.func;
+        let regs: Vec<Reg> = (0..6).map(|_| f.new_reg(RegClass::Flt)).collect();
+        let (b_, c, d, e, ff, g) =
+            (regs[0], regs[1], regs[2], regs[3], regs[4], regs[5]);
+        let t1 = f.new_reg(RegClass::Flt);
+        let t2 = f.new_reg(RegClass::Flt);
+        let t3 = f.new_reg(RegClass::Flt);
+        let t4 = f.new_reg(RegClass::Flt);
+        let a = f.new_reg(RegClass::Flt);
+        let blk = f.add_block("b");
+        f.block_mut(blk).insts.extend([
+            Inst::alu(Opcode::FAdd, t1, c.into(), d.into()),
+            Inst::alu(Opcode::FMul, t2, t1.into(), b_.into()),
+            Inst::alu(Opcode::FMul, t3, t2.into(), e.into()),
+            Inst::alu(Opcode::FMul, t4, t3.into(), ff.into()),
+            Inst::alu(Opcode::FDiv, a, t4.into(), g.into()),
+            Inst::store(
+                Operand::Sym(out),
+                Operand::ImmI(0),
+                a.into(),
+                ilpc_ir::MemLoc::affine(out, 0, 0),
+            ),
+            Inst::halt(),
+        ]);
+        (m, blk, vec![b_, c, d, e, ff, g, a])
+    }
+
+    #[test]
+    fn rebalances_fig7_with_parallel_divide() {
+        let (mut m, blk, regs) = fig7_module();
+        assert_eq!(tree_height_reduce(&mut m), 1);
+        let insts = &m.func.block(blk).insts;
+        let g = regs[5];
+        // The divide now reads a *leaf* numerator and G directly (it no
+        // longer waits for the whole product).
+        let div = insts.iter().find(|i| i.op == Opcode::FDiv).unwrap();
+        assert_eq!(div.src[1].reg(), Some(g));
+        assert!(regs[..5].iter().any(|r| div.src[0].reg() == Some(*r)));
+        // The C+D add survives as a sub-term (not part of the mul chain).
+        assert!(insts.iter().any(|i| i.op == Opcode::FAdd));
+        // Final write still defines the stored register.
+        let a = regs[6];
+        assert!(insts.iter().any(|i| i.def() == Some(a)));
+        ilpc_ir::verify::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn additive_chain_balances_with_mixed_signs() {
+        // t = a + b; t2 = t - c; t3 = t2 + d; root = t3 - e
+        // → (a+b+d) - (c+e), floating point.
+        let mut m = Module::new("t");
+        let f = &mut m.func;
+        let regs: Vec<Reg> = (0..5).map(|_| f.new_reg(RegClass::Flt)).collect();
+        let t = f.new_reg(RegClass::Flt);
+        let t2 = f.new_reg(RegClass::Flt);
+        let t3 = f.new_reg(RegClass::Flt);
+        let root = f.new_reg(RegClass::Flt);
+        let out = m.symtab.declare("out", 1, RegClass::Flt);
+        let blk = f.add_block("b");
+        f.block_mut(blk).insts.extend([
+            Inst::alu(Opcode::FAdd, t, regs[0].into(), regs[1].into()),
+            Inst::alu(Opcode::FSub, t2, t.into(), regs[2].into()),
+            Inst::alu(Opcode::FAdd, t3, t2.into(), regs[3].into()),
+            Inst::alu(Opcode::FSub, root, t3.into(), regs[4].into()),
+            Inst::store(
+                Operand::Sym(out),
+                Operand::ImmI(0),
+                root.into(),
+                ilpc_ir::MemLoc::affine(out, 0, 0),
+            ),
+            Inst::halt(),
+        ]);
+        assert_eq!(tree_height_reduce(&mut m), 1);
+        let insts = &m.func.block(blk).insts;
+        // Exactly one FSub (the final p - n) and three FAdds (balanced).
+        let subs = insts.iter().filter(|i| i.op == Opcode::FSub).count();
+        let adds = insts.iter().filter(|i| i.op == Opcode::FAdd).count();
+        assert_eq!(subs, 1);
+        assert_eq!(adds, 3);
+        // The final FSub writes root.
+        let last_sub = insts.iter().find(|i| i.op == Opcode::FSub).unwrap();
+        assert_eq!(last_sub.def(), Some(root));
+        ilpc_ir::verify::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn short_chains_left_alone() {
+        // a + b + c: three leaves — no gain, keep.
+        let mut m = Module::new("t");
+        let f = &mut m.func;
+        let regs: Vec<Reg> = (0..3).map(|_| f.new_reg(RegClass::Int)).collect();
+        let t = f.new_reg(RegClass::Int);
+        let root = f.new_reg(RegClass::Int);
+        let out = m.symtab.declare("out", 1, RegClass::Int);
+        let blk = f.add_block("b");
+        f.block_mut(blk).insts.extend([
+            Inst::alu(Opcode::Add, t, regs[0].into(), regs[1].into()),
+            Inst::alu(Opcode::Add, root, t.into(), regs[2].into()),
+            Inst::store(
+                Operand::Sym(out),
+                Operand::ImmI(0),
+                root.into(),
+                ilpc_ir::MemLoc::affine(out, 0, 0),
+            ),
+            Inst::halt(),
+        ]);
+        assert_eq!(tree_height_reduce(&mut m), 0);
+    }
+
+    #[test]
+    fn multi_use_intermediates_block_collapse() {
+        // t used twice: cannot be collapsed into the chain.
+        let mut m = Module::new("t");
+        let f = &mut m.func;
+        let regs: Vec<Reg> = (0..4).map(|_| f.new_reg(RegClass::Int)).collect();
+        let t = f.new_reg(RegClass::Int);
+        let u = f.new_reg(RegClass::Int);
+        let v = f.new_reg(RegClass::Int);
+        let root = f.new_reg(RegClass::Int);
+        let out = m.symtab.declare("out", 2, RegClass::Int);
+        let blk = f.add_block("b");
+        f.block_mut(blk).insts.extend([
+            Inst::alu(Opcode::Add, t, regs[0].into(), regs[1].into()),
+            Inst::alu(Opcode::Add, u, t.into(), regs[2].into()),
+            Inst::alu(Opcode::Add, v, u.into(), regs[3].into()),
+            Inst::alu(Opcode::Add, root, v.into(), t.into()), // t reused!
+            Inst::store(
+                Operand::Sym(out),
+                Operand::ImmI(0),
+                root.into(),
+                ilpc_ir::MemLoc::affine(out, 0, 0),
+            ),
+            Inst::halt(),
+        ]);
+        // Integer add chains are excluded from rebalancing entirely.
+        assert_eq!(tree_height_reduce(&mut m), 0);
+        let insts = &m.func.block(blk).insts;
+        // t's def survives.
+        assert!(insts.iter().any(|i| i.def() == Some(t)));
+        ilpc_ir::verify::verify_module(&m).unwrap();
+    }
+}

@@ -1,0 +1,45 @@
+//! Regenerate the paper's Figure 14. See `report` for all outputs at once.
+use ilpc_harness::figures::*;
+use ilpc_harness::grid::{run_grid, GridConfig};
+
+fn main() {
+    let cfg = GridConfig::default();
+    let grid = run_grid(&cfg);
+    assert!(grid.errors.is_empty(), "{:#?}", grid.errors);
+    let out = match "14" {
+        "08" => render_histogram(
+            "Figure 8: speedup distribution, issue-2",
+            &speedup_histogram(&grid, 2, Bins::fig8(), Subset::All),
+        ),
+        "09" => render_histogram(
+            "Figure 9: speedup distribution, issue-4",
+            &speedup_histogram(&grid, 4, Bins::fig9(), Subset::All),
+        ),
+        "10" => render_histogram(
+            "Figure 10: speedup distribution, issue-8",
+            &speedup_histogram(&grid, 8, Bins::fig10(), Subset::All),
+        ),
+        "11" => render_histogram(
+            "Figure 11: register usage distribution, issue-8",
+            &regs_histogram(&grid, 8, Subset::All),
+        ),
+        "12" => render_histogram(
+            "Figure 12: speedup distribution, DOALL loops, issue-8",
+            &speedup_histogram(&grid, 8, Bins::fig10(), Subset::Doall),
+        ),
+        "13" => render_histogram(
+            "Figure 13: register usage, DOALL loops, issue-8",
+            &regs_histogram(&grid, 8, Subset::Doall),
+        ),
+        "14" => render_histogram(
+            "Figure 14: speedup distribution, non-DOALL loops, issue-8",
+            &speedup_histogram(&grid, 8, Bins::fig10(), Subset::NonDoall),
+        ),
+        "15" => render_histogram(
+            "Figure 15: register usage, non-DOALL loops, issue-8",
+            &regs_histogram(&grid, 8, Subset::NonDoall),
+        ),
+        _ => unreachable!(),
+    };
+    println!("{out}");
+}

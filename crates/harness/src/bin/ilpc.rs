@@ -1,0 +1,182 @@
+//! `ilpc` — command-line driver for the ILPC compiler.
+//!
+//! ```text
+//! ilpc list                                 # Table 2 workload catalog
+//! ilpc emit  <loop> [--level L] [--scale S] # compiled code (text format)
+//! ilpc run   <loop> [--level L] [--width W] # compile + simulate + verify
+//! ilpc trace <loop> [--level L] [--width W] # per-instruction issue times
+//! ilpc exec  <file.ilpc> [--width W]        # simulate a text-format module
+//! ```
+//!
+//! The `emit`/`exec` pair round-trips through the stable text format of
+//! `ilpc_ir::text`, so compiled code can be inspected, edited and re-run.
+
+use ilpc_core::level::Level;
+use ilpc_harness::compile::compile;
+use ilpc_harness::run::run_compiled;
+use ilpc_machine::Machine;
+use ilpc_sched::schedule_insts;
+use ilpc_sim::simulate;
+use ilpc_workloads::{build, table2};
+
+struct Args {
+    cmd: String,
+    target: Option<String>,
+    level: Level,
+    width: u32,
+    scale: f64,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+    }
+    let mut args = Args {
+        cmd: argv[0].clone(),
+        target: None,
+        level: Level::Lev4,
+        width: 8,
+        scale: 1.0,
+    };
+    let mut k = 1;
+    while k < argv.len() {
+        match argv[k].as_str() {
+            "--level" => {
+                args.level = match argv[k + 1].as_str() {
+                    "conv" | "Conv" => Level::Conv,
+                    "lev1" | "Lev1" => Level::Lev1,
+                    "lev2" | "Lev2" => Level::Lev2,
+                    "lev3" | "Lev3" => Level::Lev3,
+                    "lev4" | "Lev4" => Level::Lev4,
+                    other => die(&format!("unknown level {other}")),
+                };
+                k += 2;
+            }
+            "--width" => {
+                args.width = argv[k + 1].parse().unwrap_or_else(|_| die("bad width"));
+                if args.width == 0 {
+                    die("width must be at least 1");
+                }
+                k += 2;
+            }
+            "--scale" => {
+                args.scale = argv[k + 1].parse().unwrap_or_else(|_| die("bad scale"));
+                k += 2;
+            }
+            other if args.target.is_none() && !other.starts_with("--") => {
+                args.target = Some(other.to_string());
+                k += 1;
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    args
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ilpc <list|emit|run|trace|exec> [target] \
+         [--level conv|lev1..lev4] [--width N] [--scale S]"
+    );
+    std::process::exit(2);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("ilpc: {msg}");
+    std::process::exit(2);
+}
+
+fn workload(args: &Args) -> ilpc_workloads::Workload {
+    let name = args.target.as_deref().unwrap_or_else(|| usage());
+    let meta = table2()
+        .into_iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| die(&format!("unknown loop nest {name}; try `ilpc list`")));
+    build(&meta, args.scale)
+}
+
+fn main() {
+    let args = parse_args();
+    let machine = Machine::issue(args.width);
+    match args.cmd.as_str() {
+        "list" => {
+            println!(
+                "{:<14}{:<9}{:>6}{:>8}{:>6}  {:<10}{:>6}",
+                "name", "suite", "size", "iters", "nest", "type", "conds"
+            );
+            for m in table2() {
+                println!(
+                    "{:<14}{:<9}{:>6}{:>8}{:>6}  {:<10}{:>6}",
+                    m.name,
+                    m.suite.to_string(),
+                    m.size,
+                    m.iters,
+                    m.nest,
+                    m.ltype.name(),
+                    if m.conds { "yes" } else { "no" }
+                );
+            }
+        }
+        "emit" => {
+            let w = workload(&args);
+            let c = compile(&w, args.level, &machine);
+            print!("{}", ilpc_ir::text::serialize(&c.module));
+        }
+        "run" => {
+            let w = workload(&args);
+            let c = compile(&w, args.level, &machine);
+            match run_compiled(&w, &c, &machine) {
+                Ok(p) => {
+                    println!("loop:          {}", w.meta.name);
+                    println!("level/machine: {} on {}", args.level, machine.name());
+                    println!("cycles:        {}", p.cycles);
+                    println!("dyn insts:     {}", p.dyn_insts);
+                    println!("ipc:           {:.2}", p.dyn_insts as f64 / p.cycles as f64);
+                    println!("registers:     {} ({} int + {} flt)",
+                        p.regs.total(), p.regs.int, p.regs.flt);
+                    println!("static insts:  {}", p.static_insts);
+                    println!("transforms:    {:?}", c.report);
+                    println!("verified:      results match the AST interpreter");
+                }
+                Err(e) => die(&format!("verification failed: {e}")),
+            }
+        }
+        "trace" => {
+            let w = workload(&args);
+            let c = compile(&w, args.level, &machine);
+            let lv = ilpc_analysis::Liveness::compute(&c.module.func);
+            for &bid in c.module.func.layout_order() {
+                let b = c.module.func.block(bid);
+                println!("B{} ({}):", bid.0, b.label);
+                let sched =
+                    schedule_insts(&b.insts, &machine, &|t| lv.live_in(t).clone());
+                for (inst, t) in sched.insts.iter().zip(&sched.times) {
+                    println!("  IT {t:>4}  {inst}");
+                }
+            }
+        }
+        "exec" => {
+            let path = args.target.as_deref().unwrap_or_else(|| usage());
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+            let module = ilpc_ir::text::parse(&text)
+                .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            ilpc_ir::verify::verify_module(&module)
+                .unwrap_or_else(|e| die(&format!("{path}: invalid module: {e}")));
+            let (_, total) = module.symtab.layout();
+            match simulate(&module, &machine, vec![0; total], 1_000_000_000) {
+                Ok(r) => {
+                    println!("cycles:    {}", r.cycles);
+                    println!("dyn insts: {}", r.dyn_insts);
+                    for (id, s) in module.symtab.iter() {
+                        let v = ilpc_sim::read_symbol(&module.symtab, &r.memory, id);
+                        println!("{}: {v:?}", s.name);
+                    }
+                }
+                Err(e) => die(&format!("simulation failed: {e}")),
+            }
+        }
+        _ => usage(),
+    }
+}

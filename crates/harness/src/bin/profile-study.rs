@@ -1,0 +1,48 @@
+//! Static-estimate vs profile-driven superblock formation (IMPACT used
+//! execution profiles to select traces; our front end only estimates
+//! branch probabilities). Reported for the loops with conditionals —
+//! the only ones where trace selection matters.
+//!
+//! ```text
+//! cargo run --release -p ilpc-harness --bin profile-study [-- --scale 0.5]
+//! ```
+
+use ilpc_core::level::Level;
+use ilpc_harness::profile::evaluate_with_profile;
+use ilpc_harness::run::evaluate;
+use ilpc_machine::Machine;
+use ilpc_workloads::build_all;
+
+fn main() {
+    let mut scale = 1.0f64;
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(k) = args.iter().position(|a| a == "--scale") {
+        scale = args[k + 1].parse().expect("scale");
+    }
+    let machine = Machine::issue(8);
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>8}",
+        "loop", "static", "profiled", "ratio"
+    );
+    for w in build_all(scale) {
+        if !w.meta.conds {
+            continue;
+        }
+        let stat = evaluate(&w, Level::Lev4, &machine)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let prof = evaluate_with_profile(&w, Level::Lev4, &machine)
+            .unwrap_or_else(|e| panic!("{e}"));
+        println!(
+            "{:<12} {:>10} {:>10} {:>8.3}",
+            w.meta.name,
+            stat.cycles,
+            prof.cycles,
+            prof.cycles as f64 / stat.cycles as f64
+        );
+    }
+    println!();
+    println!("cycles at Lev4/issue-8; ratio < 1 means the measured profile");
+    println!("beat the front end's static estimates. Both runs are verified");
+    println!("against the interpreter.");
+}

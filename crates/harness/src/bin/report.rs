@@ -1,0 +1,98 @@
+//! Full evaluation report: every table and figure of the paper in one run.
+//!
+//! ```text
+//! cargo run --release -p ilpc-harness --bin report [-- --scale 1.0 --threads N]
+//! ```
+
+use ilpc_harness::figures::{
+    regs_histogram, render_histogram, render_per_loop, render_summary,
+    speedup_histogram, Bins, Subset,
+};
+use ilpc_harness::grid::{run_grid, GridConfig};
+
+fn parse_args() -> GridConfig {
+    let mut cfg = GridConfig::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut k = 1;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--scale" => {
+                cfg.scale = args[k + 1].parse().expect("scale");
+                k += 2;
+            }
+            "--threads" => {
+                cfg.threads = args[k + 1].parse().expect("threads");
+                k += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    cfg
+}
+
+fn main() {
+    let cfg = parse_args();
+    eprintln!(
+        "running grid: 40 loops x {} levels x {:?} (scale {})...",
+        cfg.levels.len(),
+        cfg.widths,
+        cfg.scale
+    );
+    let grid = run_grid(&cfg);
+    if !grid.errors.is_empty() {
+        eprintln!("EVALUATION ERRORS:");
+        for e in &grid.errors {
+            eprintln!("  {e}");
+        }
+        std::process::exit(1);
+    }
+
+    println!("{}", ilpc_harness::figures::render_table1());
+    println!("{}", ilpc_harness::figures::render_table2());
+    for (title, width, bins) in [
+        ("Figure 8: speedup distribution, issue-2", 2u32, Bins::fig8()),
+        ("Figure 9: speedup distribution, issue-4", 4, Bins::fig9()),
+        ("Figure 10: speedup distribution, issue-8", 8, Bins::fig10()),
+    ] {
+        let h = speedup_histogram(&grid, width, bins, Subset::All);
+        println!("{}", render_histogram(title, &h));
+    }
+    println!(
+        "{}",
+        render_histogram(
+            "Figure 11: register usage distribution, issue-8",
+            &regs_histogram(&grid, 8, Subset::All)
+        )
+    );
+    println!(
+        "{}",
+        render_histogram(
+            "Figure 12: speedup distribution, DOALL loops, issue-8",
+            &speedup_histogram(&grid, 8, Bins::fig10(), Subset::Doall)
+        )
+    );
+    println!(
+        "{}",
+        render_histogram(
+            "Figure 13: register usage, DOALL loops, issue-8",
+            &regs_histogram(&grid, 8, Subset::Doall)
+        )
+    );
+    println!(
+        "{}",
+        render_histogram(
+            "Figure 14: speedup distribution, non-DOALL loops, issue-8",
+            &speedup_histogram(&grid, 8, Bins::fig10(), Subset::NonDoall)
+        )
+    );
+    println!(
+        "{}",
+        render_histogram(
+            "Figure 15: register usage, non-DOALL loops, issue-8",
+            &regs_histogram(&grid, 8, Subset::NonDoall)
+        )
+    );
+    println!("{}", render_summary(&grid));
+    println!("== Per-loop speedups (issue-8) ==");
+    println!("{}", render_per_loop(&grid, 8));
+}

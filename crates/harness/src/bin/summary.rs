@@ -1,0 +1,9 @@
+//! Print the paper's §3.2/§4 summary statistics (average speedups by level
+//! and issue rate, DOALL vs non-DOALL split, register growth).
+use ilpc_harness::grid::{run_grid, GridConfig};
+
+fn main() {
+    let grid = run_grid(&GridConfig::default());
+    assert!(grid.errors.is_empty(), "{:#?}", grid.errors);
+    println!("{}", ilpc_harness::figures::render_summary(&grid));
+}

@@ -1,0 +1,4 @@
+//! Print the paper's Table 1 (instruction latencies).
+fn main() {
+    println!("{}", ilpc_harness::figures::render_table1());
+}

@@ -1,0 +1,4 @@
+//! Print the paper's Table 2 (loop nest descriptions).
+fn main() {
+    println!("{}", ilpc_harness::figures::render_table2());
+}

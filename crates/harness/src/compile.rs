@@ -1,0 +1,99 @@
+//! The full compilation pipeline: lower → transformation level →
+//! superblock formation → list scheduling → register measurement.
+
+use ilpc_core::ablation::{apply_set, TransformSet};
+use ilpc_core::level::{apply_level, Level, TransformReport};
+use ilpc_core::unroll::UnrollConfig;
+use ilpc_ir::ast::VarId;
+use ilpc_ir::lower::lower;
+use ilpc_ir::{Module, SymId};
+use ilpc_machine::Machine;
+use ilpc_regalloc::RegUsage;
+use ilpc_sched::{form_superblocks, schedule_module, SuperblockConfig, SuperblockReport};
+use ilpc_workloads::Workload;
+use std::collections::HashMap;
+
+/// A compiled workload ready for simulation.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    pub module: Module,
+    /// Assigned scalar → shadow output symbol (for result comparison).
+    pub shadow: HashMap<VarId, SymId>,
+    /// Transformation application counts.
+    pub report: TransformReport,
+    /// Superblock formation counts.
+    pub superblocks: SuperblockReport,
+    /// Peak register usage of the scheduled code.
+    pub regs: RegUsage,
+    /// Static instruction count after compilation.
+    pub static_insts: usize,
+}
+
+fn finish(
+    mut module: Module,
+    shadow: HashMap<VarId, SymId>,
+    report: TransformReport,
+    machine: &Machine,
+) -> Compiled {
+    let superblocks = form_superblocks(&mut module, &SuperblockConfig::default());
+    schedule_module(&mut module, machine);
+    let regs = ilpc_regalloc::measure(&module.func);
+    let static_insts = module.func.num_insts();
+    Compiled { module, shadow, report, superblocks, regs, static_insts }
+}
+
+/// Compile `w` at `level` for `machine`.
+pub fn compile(w: &Workload, level: Level, machine: &Machine) -> Compiled {
+    let lowered = lower(&w.program);
+    let mut module = lowered.module;
+    let report = apply_level(&mut module, level, &UnrollConfig::default());
+    finish(module, lowered.shadow_syms, report, machine)
+}
+
+/// Compile `w` with an arbitrary transformation subset (ablation studies).
+pub fn compile_set(w: &Workload, set: &TransformSet, machine: &Machine) -> Compiled {
+    let lowered = lower(&w.program);
+    let mut module = lowered.module;
+    let report = apply_set(&mut module, set, &UnrollConfig::default());
+    finish(module, lowered.shadow_syms, report, machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_workloads::{build, table2};
+
+    #[test]
+    fn compiles_dotprod_across_levels() {
+        let meta = table2().into_iter().find(|m| m.name == "dotprod").unwrap();
+        let w = build(&meta, 0.05);
+        let mut prev_regs = 0;
+        for level in Level::ALL {
+            let c = compile(&w, level, &Machine::issue(8));
+            ilpc_ir::verify::verify_module(&c.module).unwrap();
+            // Register usage grows (weakly) with transformation level.
+            assert!(
+                c.regs.total() + 4 >= prev_regs,
+                "{level}: regs {} < prev {prev_regs}",
+                c.regs.total()
+            );
+            prev_regs = c.regs.total();
+            if level == Level::Lev4 {
+                assert!(c.report.accumulators_expanded >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn maxval_gets_search_expansion_and_superblocks() {
+        let meta = table2().into_iter().find(|m| m.name == "maxval").unwrap();
+        let w = build(&meta, 0.05);
+        let c = compile(&w, Level::Lev4, &Machine::issue(8));
+        assert!(c.superblocks.merges > 0, "{:?}", c.superblocks);
+        assert!(
+            c.report.searches_expanded >= 1,
+            "search expansion expected: {:?}",
+            c.report
+        );
+    }
+}

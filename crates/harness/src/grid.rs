@@ -1,0 +1,199 @@
+//! The evaluation grid: every (loop, level, issue width) combination.
+//!
+//! The grid is embarrassingly parallel; points are distributed over worker
+//! threads with `std::thread::scope` and an atomic work counter (fork-join,
+//! no shared mutable state beyond the counter — data-race free by
+//! construction).
+
+use crate::run::{evaluate, EvalPoint};
+use ilpc_core::level::Level;
+use ilpc_machine::Machine;
+use ilpc_workloads::{build_all, Workload, WorkloadMeta};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Grid configuration.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Trip-count scale (1.0 = the paper's Table 2 counts).
+    pub scale: f64,
+    /// Levels to evaluate.
+    pub levels: Vec<Level>,
+    /// Issue widths to evaluate (1 is required: it is the speedup base).
+    pub widths: Vec<u32>,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for GridConfig {
+    fn default() -> GridConfig {
+        GridConfig {
+            scale: 1.0,
+            levels: Level::ALL.to_vec(),
+            widths: vec![1, 2, 4, 8],
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// Results over the grid.
+#[derive(Debug)]
+pub struct Grid {
+    pub meta: Vec<WorkloadMeta>,
+    points: HashMap<(String, Level, u32), EvalPoint>,
+    /// Evaluation failures, if any (fail loudly in reports).
+    pub errors: Vec<String>,
+}
+
+impl Grid {
+    /// Measured point for `(loop, level, width)`.
+    pub fn point(&self, name: &str, level: Level, width: u32) -> Option<&EvalPoint> {
+        self.points.get(&(name.to_string(), level, width))
+    }
+
+    /// Speedup of `(level, width)` over the paper's base configuration
+    /// (issue-1, Conv) for one loop.
+    pub fn speedup(&self, name: &str, level: Level, width: u32) -> Option<f64> {
+        let base = self.point(name, Level::Conv, 1)?.cycles as f64;
+        let this = self.point(name, level, width)?.cycles as f64;
+        Some(base / this)
+    }
+
+    /// Arithmetic-mean speedup over a subset of loops.
+    pub fn mean_speedup<'a>(
+        &self,
+        names: impl Iterator<Item = &'a str>,
+        level: Level,
+        width: u32,
+    ) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for name in names {
+            if let Some(s) = self.speedup(name, level, width) {
+                sum += s;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Mean total register usage over a subset of loops.
+    pub fn mean_regs<'a>(
+        &self,
+        names: impl Iterator<Item = &'a str>,
+        level: Level,
+        width: u32,
+    ) -> f64 {
+        let mut sum = 0u64;
+        let mut n = 0usize;
+        for name in names {
+            if let Some(p) = self.point(name, level, width) {
+                sum += p.regs.total() as u64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+}
+
+/// Run the grid.
+pub fn run_grid(cfg: &GridConfig) -> Grid {
+    let workloads: Vec<Workload> = build_all(cfg.scale);
+    let meta: Vec<WorkloadMeta> = workloads.iter().map(|w| w.meta.clone()).collect();
+
+    // Work items: (workload idx, level, width).
+    let mut items: Vec<(usize, Level, u32)> = Vec::new();
+    for (i, _) in workloads.iter().enumerate() {
+        for &level in &cfg.levels {
+            for &width in &cfg.widths {
+                items.push((i, level, width));
+            }
+        }
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<((String, Level, u32), Result<EvalPoint, String>)>> =
+        Mutex::new(Vec::with_capacity(items.len()));
+
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.threads.max(1) {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= items.len() {
+                        break;
+                    }
+                    let (wi, level, width) = items[k];
+                    let w = &workloads[wi];
+                    let r = evaluate(w, level, &Machine::issue(width));
+                    local.push(((w.meta.name.to_string(), level, width), r));
+                }
+                results.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    let mut points = HashMap::new();
+    let mut errors = Vec::new();
+    for (key, r) in results.into_inner().unwrap() {
+        match r {
+            Ok(p) => {
+                points.insert(key, p);
+            }
+            Err(e) => errors.push(format!("{key:?}: {e}")),
+        }
+    }
+    Grid { meta, points, errors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature grid end-to-end; the full-scale grid runs in integration
+    /// tests and the figure binaries.
+    #[test]
+    fn mini_grid_runs_clean() {
+        let cfg = GridConfig {
+            scale: 0.02,
+            levels: vec![Level::Conv, Level::Lev2],
+            widths: vec![1, 8],
+            threads: 4,
+        };
+        let grid = run_grid(&cfg);
+        assert!(grid.errors.is_empty(), "{:#?}", grid.errors);
+        assert_eq!(grid.meta.len(), 40);
+        // Every point present.
+        for m in &grid.meta {
+            for level in [Level::Conv, Level::Lev2] {
+                for width in [1u32, 8] {
+                    assert!(
+                        grid.point(m.name, level, width).is_some(),
+                        "missing {} {level} issue-{width}",
+                        m.name
+                    );
+                }
+            }
+        }
+        // Speedups of Lev2/issue-8 exceed 1 for most DOALL loops.
+        let fast = grid
+            .meta
+            .iter()
+            .filter(|m| m.ltype.is_doall())
+            .filter(|m| grid.speedup(m.name, Level::Lev2, 8).unwrap() > 1.5)
+            .count();
+        assert!(fast >= 10, "only {fast} DOALL loops sped up");
+    }
+}

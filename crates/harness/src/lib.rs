@@ -1,0 +1,19 @@
+//! # ilpc-harness — experimental evaluation harness
+//!
+//! Drives the full pipeline over the paper's evaluation grid
+//! ({Conv..Lev4} × {issue-1,2,4,8} × 40 loop nests), verifies every run
+//! against the AST interpreter, and renders each of the paper's tables and
+//! figures (Tables 1-2, Figures 8-15, the §3.2/§4 summary statistics, and
+//! the §2 worked examples).
+
+pub mod compile;
+pub mod examples_paper;
+pub mod figures;
+pub mod grid;
+pub mod profile;
+pub mod run;
+
+pub use compile::{compile, compile_set, Compiled};
+pub use grid::{run_grid, Grid, GridConfig};
+pub use profile::{compile_with_profile, evaluate_with_profile};
+pub use run::{evaluate, evaluate_set, run_compiled, EvalPoint};

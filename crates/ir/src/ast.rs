@@ -1,0 +1,321 @@
+//! Mini-FORTRAN abstract syntax for loop-nest workloads.
+//!
+//! The paper evaluates 40 loop nests extracted from FORTRAN programs; this
+//! module provides just enough surface language to express them: typed scalar
+//! variables, one-dimensional arrays indexed by affine expressions of loop
+//! variables (multi-dimensional arrays are expressed with explicit leading
+//! dimensions, as FORTRAN ultimately lays them out), counted `DO` loops with
+//! step 1, structured `IF`, and scalar/array assignments.
+//!
+//! Programs are lowered *naively* to IR by [`crate::lower`] — address
+//! arithmetic is re-materialized at every reference — so that the classical
+//! optimizer (`ilpc-opt`) performs the same job it performed in IMPACT-I
+//! before the ILP transformations run.
+
+use crate::op::Cond;
+use crate::reg::RegClass;
+
+/// Handle to a scalar variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// Handle to an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrId(pub u32);
+
+/// Affine index expression: `sum(coef_k * var_k) + off`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Index {
+    /// Terms `(variable, coefficient)`. Variables appear at most once.
+    pub terms: Vec<(VarId, i64)>,
+    /// Constant offset (elements).
+    pub off: i64,
+}
+
+impl Index {
+    /// `var + off`.
+    pub fn var(v: VarId) -> Index {
+        Index { terms: vec![(v, 1)], off: 0 }
+    }
+
+    /// Constant index.
+    pub fn at(off: i64) -> Index {
+        Index { terms: Vec::new(), off }
+    }
+
+    /// Add a term `coef * var` (merging with an existing term for `var`).
+    pub fn plus(mut self, v: VarId, coef: i64) -> Index {
+        if let Some(t) = self.terms.iter_mut().find(|t| t.0 == v) {
+            t.1 += coef;
+            if t.1 == 0 {
+                self.terms.retain(|t| t.0 != v);
+            }
+        } else if coef != 0 {
+            self.terms.push((v, coef));
+        }
+        self
+    }
+
+    /// Add a constant offset.
+    pub fn offset(mut self, off: i64) -> Index {
+        self.off += off;
+        self
+    }
+
+    /// Coefficient of `v` in this index.
+    pub fn coef_of(&self, v: VarId) -> i64 {
+        self.terms.iter().find(|t| t.0 == v).map_or(0, |t| t.1)
+    }
+}
+
+/// Binary operators of the surface language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// Integer remainder (integer operands only).
+    Rem,
+}
+
+/// An expression. Classes are inferred bottom-up; mixing classes without an
+/// explicit [`Expr::Cvt`] is a front-end error caught at lowering time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer constant.
+    Ci(i64),
+    /// Floating constant.
+    Cf(f64),
+    /// Scalar variable read (loop variables read as integers).
+    Var(VarId),
+    /// Array element read.
+    Arr(ArrId, Index),
+    /// Binary operation (same-class operands).
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Integer-to-float conversion.
+    Cvt(Box<Expr>),
+}
+
+impl Expr {
+    /// `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
+    }
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
+    }
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
+    }
+    /// `a / b`.
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Div, Box::new(a), Box::new(b))
+    }
+    /// `a % b` (integers).
+    pub fn rem(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Rem, Box::new(a), Box::new(b))
+    }
+    /// Read `arr[idx]`.
+    pub fn at(arr: ArrId, idx: Index) -> Expr {
+        Expr::Arr(arr, idx)
+    }
+}
+
+/// Loop bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bound {
+    /// Compile-time constant.
+    Const(i64),
+    /// Value of an integer scalar at loop entry (must be loop-invariant).
+    Var(VarId),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `scalar = expr`.
+    SetScalar(VarId, Expr),
+    /// `arr[idx] = expr`.
+    SetArr(ArrId, Index, Expr),
+    /// `DO var = lo, hi` with step 1 (body may be empty when `lo > hi`).
+    For { var: VarId, lo: Bound, hi: Bound, body: Vec<Stmt> },
+    /// Structured `IF`; `prob` is the front-end estimate of the probability
+    /// that the `then` branch executes (drives superblock trace selection).
+    If { cond: (Cond, Expr, Expr), then: Vec<Stmt>, els: Vec<Stmt>, prob: f32 },
+}
+
+/// Scalar declaration.
+#[derive(Debug, Clone)]
+pub struct VarDecl {
+    pub name: String,
+    pub class: RegClass,
+}
+
+/// Array declaration.
+#[derive(Debug, Clone)]
+pub struct ArrDecl {
+    pub name: String,
+    pub elems: usize,
+    pub class: RegClass,
+}
+
+/// A whole workload program: declarations plus a top-level statement list.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub name: String,
+    pub vars: Vec<VarDecl>,
+    pub arrays: Vec<ArrDecl>,
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// New empty program.
+    pub fn new(name: &str) -> Program {
+        Program {
+            name: name.to_string(),
+            vars: Vec::new(),
+            arrays: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Declare an integer scalar.
+    pub fn int_var(&mut self, name: &str) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarDecl { name: name.to_string(), class: RegClass::Int });
+        id
+    }
+
+    /// Declare a floating scalar.
+    pub fn flt_var(&mut self, name: &str) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarDecl { name: name.to_string(), class: RegClass::Flt });
+        id
+    }
+
+    /// Declare a floating array of `elems` elements.
+    pub fn flt_arr(&mut self, name: &str, elems: usize) -> ArrId {
+        let id = ArrId(self.arrays.len() as u32);
+        self.arrays.push(ArrDecl {
+            name: name.to_string(),
+            elems,
+            class: RegClass::Flt,
+        });
+        id
+    }
+
+    /// Declare an integer array of `elems` elements.
+    pub fn int_arr(&mut self, name: &str, elems: usize) -> ArrId {
+        let id = ArrId(self.arrays.len() as u32);
+        self.arrays.push(ArrDecl {
+            name: name.to_string(),
+            elems,
+            class: RegClass::Int,
+        });
+        id
+    }
+
+    /// Class of a scalar.
+    pub fn var_class(&self, v: VarId) -> RegClass {
+        self.vars[v.0 as usize].class
+    }
+
+    /// Class of an array's elements.
+    pub fn arr_class(&self, a: ArrId) -> RegClass {
+        self.arrays[a.0 as usize].class
+    }
+}
+
+/// Count the number of assignment statements in the innermost loop(s) —
+/// the rough analogue of Table 2's "lines of FORTRAN" size metric.
+pub fn innermost_size(stmts: &[Stmt]) -> usize {
+    fn walk(stmts: &[Stmt], out: &mut usize) -> bool {
+        // Returns true if `stmts` contains a loop.
+        let mut has_loop = false;
+        for s in stmts {
+            if let Stmt::For { body, .. } = s {
+                has_loop = true;
+                let mut inner = 0;
+                if !walk(body, &mut inner) {
+                    inner = count(body);
+                }
+                *out = (*out).max(inner);
+            }
+        }
+        has_loop
+    }
+    fn count(stmts: &[Stmt]) -> usize {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::SetScalar(..) | Stmt::SetArr(..) => 1,
+                Stmt::If { then, els, .. } => 1 + count(then) + count(els),
+                Stmt::For { body, .. } => count(body),
+            })
+            .sum()
+    }
+    let mut out = 0;
+    if !walk(stmts, &mut out) {
+        return count(stmts);
+    }
+    out
+}
+
+/// Maximum loop nesting depth of a statement list.
+pub fn nest_depth(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::For { body, .. } => 1 + nest_depth(body),
+            Stmt::If { then, els, .. } => nest_depth(then).max(nest_depth(els)),
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_algebra() {
+        let i = VarId(0);
+        let j = VarId(1);
+        let idx = Index::var(i).plus(j, 8).offset(3);
+        assert_eq!(idx.coef_of(i), 1);
+        assert_eq!(idx.coef_of(j), 8);
+        assert_eq!(idx.off, 3);
+        // Merging and cancellation.
+        let z = Index::var(i).plus(i, -1);
+        assert_eq!(z.coef_of(i), 0);
+        assert!(z.terms.is_empty());
+    }
+
+    #[test]
+    fn nest_metrics() {
+        let mut p = Program::new("t");
+        let i = p.int_var("i");
+        let j = p.int_var("j");
+        let a = p.flt_arr("A", 16);
+        let body = vec![Stmt::For {
+            var: i,
+            lo: Bound::Const(1),
+            hi: Bound::Const(4),
+            body: vec![Stmt::For {
+                var: j,
+                lo: Bound::Const(1),
+                hi: Bound::Const(4),
+                body: vec![
+                    Stmt::SetArr(a, Index::var(j), Expr::Cf(0.0)),
+                    Stmt::SetArr(a, Index::var(j).offset(4), Expr::Cf(1.0)),
+                ],
+            }],
+        }];
+        assert_eq!(nest_depth(&body), 2);
+        assert_eq!(innermost_size(&body), 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! Pretty-printing of functions and modules in a paper-like assembly style.
+
+use crate::func::{Function, Module};
+use std::fmt;
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func {} {{", self.name)?;
+        for &bid in self.layout_order() {
+            let b = self.block(bid);
+            writeln!(f, "{bid}: ; {}", b.label)?;
+            for inst in &b.insts {
+                writeln!(f, "    {inst}")?;
+            }
+        }
+        writeln!(f, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (id, s) in self.symtab.iter() {
+            writeln!(f, "data {} = {} [{} x {}]", id, s.name, s.elems, s.class)?;
+        }
+        write!(f, "{}", self.func)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Inst, Operand};
+    use crate::reg::Reg;
+
+    #[test]
+    fn prints_blocks_and_insts() {
+        let mut m = Module::new("demo");
+        let b = m.func.add_block("entry");
+        m.func
+            .block_mut(b)
+            .insts
+            .push(Inst::mov(Reg::int(0), Operand::ImmI(7)));
+        m.func.block_mut(b).insts.push(Inst::halt());
+        let text = m.to_string();
+        assert!(text.contains("func demo"));
+        assert!(text.contains("r0i = 7"));
+        assert!(text.contains("halt"));
+    }
+}

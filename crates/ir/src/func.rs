@@ -1,0 +1,265 @@
+//! Functions, basic blocks and the control flow graph.
+//!
+//! A function owns a set of blocks identified by stable [`BlockId`]s plus a
+//! *layout*: the linear order in which blocks are emitted. Control falls
+//! through from a block to its layout successor unless the block ends in an
+//! unconditional transfer. Conditional branches may appear **anywhere** in a
+//! block — this is what lets a superblock (a trace with side exits) be
+//! represented as a single block, exactly as superblock scheduling requires.
+
+use crate::inst::Inst;
+use crate::op::Opcode;
+use crate::reg::{Reg, RegClass};
+use crate::sym::SymTab;
+use std::fmt;
+
+/// Stable handle to a basic block within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// A basic block: a label plus a straight sequence of instructions
+/// (conditional branches inside the sequence are *side exits*).
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Debug label.
+    pub label: String,
+    /// Instructions in program order.
+    pub insts: Vec<Inst>,
+}
+
+impl Block {
+    /// True if the final instruction unconditionally leaves the block.
+    pub fn ends_in_transfer(&self) -> bool {
+        matches!(
+            self.insts.last().map(|i| i.op),
+            Some(Opcode::Jump) | Some(Opcode::Halt)
+        )
+    }
+}
+
+/// A function: blocks + layout + virtual register counters.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Function name (workload id).
+    pub name: String,
+    blocks: Vec<Block>,
+    /// Emission order of blocks. Fall-through goes to the next layout entry.
+    pub layout: Vec<BlockId>,
+    /// Next fresh virtual register id per class.
+    next_vreg: [u32; 2],
+}
+
+impl Function {
+    /// New empty function.
+    pub fn new(name: &str) -> Function {
+        Function {
+            name: name.to_string(),
+            blocks: Vec::new(),
+            layout: Vec::new(),
+            next_vreg: [0; 2],
+        }
+    }
+
+    /// Allocate a fresh virtual register of `class`.
+    pub fn new_reg(&mut self, class: RegClass) -> Reg {
+        let id = self.next_vreg[class.index()];
+        self.next_vreg[class.index()] += 1;
+        Reg { id, class }
+    }
+
+    /// Number of virtual registers allocated so far in `class`.
+    pub fn vreg_count(&self, class: RegClass) -> u32 {
+        self.next_vreg[class.index()]
+    }
+
+    /// Create a new block appended to the layout; returns its id.
+    pub fn add_block(&mut self, label: &str) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block { label: label.to_string(), insts: Vec::new() });
+        self.layout.push(id);
+        id
+    }
+
+    /// Create a new block **without** placing it in the layout
+    /// (callers insert it at the right position themselves).
+    pub fn add_block_detached(&mut self, label: &str) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block { label: label.to_string(), insts: Vec::new() });
+        id
+    }
+
+    /// Shared access to a block.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Mutable access to a block.
+    #[inline]
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// All block ids in layout order.
+    pub fn layout_order(&self) -> &[BlockId] {
+        &self.layout
+    }
+
+    /// Position of `id` in the layout, if present.
+    pub fn layout_pos(&self, id: BlockId) -> Option<usize> {
+        self.layout.iter().position(|&b| b == id)
+    }
+
+    /// The block the entry of the function transfers to (first in layout).
+    pub fn entry(&self) -> BlockId {
+        self.layout[0]
+    }
+
+    /// Fall-through successor of `id` in the layout (the block control
+    /// reaches if `id` does not end in an unconditional transfer).
+    pub fn fallthrough(&self, id: BlockId) -> Option<BlockId> {
+        let pos = self.layout_pos(id)?;
+        self.layout.get(pos + 1).copied()
+    }
+
+    /// Control-flow successors of a block: side-exit branch targets plus the
+    /// fall-through (when the block does not end in `Jump`/`Halt`).
+    pub fn succs(&self, id: BlockId) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        let b = self.block(id);
+        for inst in &b.insts {
+            if let (true, Some(t)) = (inst.op.is_branch(), inst.target) {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        if !b.ends_in_transfer() {
+            if let Some(ft) = self.fallthrough(id) {
+                if !out.contains(&ft) {
+                    out.push(ft);
+                }
+            }
+        }
+        out
+    }
+
+    /// Predecessor map over all blocks in the layout.
+    pub fn preds(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for &b in &self.layout {
+            for s in self.succs(b) {
+                preds[s.0 as usize].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Total number of blocks ever created (dense id space size).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total instructions over all blocks in the layout.
+    pub fn num_insts(&self) -> usize {
+        self.layout.iter().map(|&b| self.block(b).insts.len()).sum()
+    }
+
+    /// Iterate `(block, inst)` references over the layout.
+    pub fn insts(&self) -> impl Iterator<Item = (BlockId, &Inst)> {
+        self.layout
+            .iter()
+            .flat_map(move |&b| self.block(b).insts.iter().map(move |i| (b, i)))
+    }
+
+    /// Rewrite every branch target `from` to `to` across the function.
+    pub fn retarget(&mut self, from: BlockId, to: BlockId) {
+        for b in &mut self.blocks {
+            for i in &mut b.insts {
+                if i.target == Some(from) {
+                    i.target = Some(to);
+                }
+            }
+        }
+    }
+}
+
+/// A module: one function plus its data symbols. Workloads compile to one
+/// module each (the paper evaluates isolated loop nests).
+#[derive(Debug, Clone)]
+pub struct Module {
+    pub symtab: SymTab,
+    pub func: Function,
+}
+
+impl Module {
+    /// New module with an empty function of the given name.
+    pub fn new(name: &str) -> Module {
+        Module { symtab: SymTab::new(), func: Function::new(name) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Operand;
+    use crate::op::Cond;
+
+    #[test]
+    fn succs_and_fallthrough() {
+        let mut f = Function::new("t");
+        let b0 = f.add_block("entry");
+        let b1 = f.add_block("body");
+        let b2 = f.add_block("exit");
+        // b0: conditional branch to b2, falls through to b1.
+        f.block_mut(b0).insts.push(Inst::br(
+            Cond::Lt,
+            Operand::ImmI(0),
+            Operand::ImmI(1),
+            b2,
+        ));
+        // b1: jumps back to b0.
+        f.block_mut(b1).insts.push(Inst::jump(b0));
+        // b2: halt.
+        f.block_mut(b2).insts.push(Inst::halt());
+
+        assert_eq!(f.succs(b0), vec![b2, b1]);
+        assert_eq!(f.succs(b1), vec![b0]);
+        assert!(f.succs(b2).is_empty());
+        assert_eq!(f.fallthrough(b0), Some(b1));
+        let preds = f.preds();
+        assert_eq!(preds[b0.0 as usize], vec![b1]);
+        assert_eq!(preds[b2.0 as usize], vec![b0]);
+    }
+
+    #[test]
+    fn fresh_registers_are_distinct_per_class() {
+        let mut f = Function::new("t");
+        let a = f.new_reg(RegClass::Int);
+        let b = f.new_reg(RegClass::Int);
+        let c = f.new_reg(RegClass::Flt);
+        assert_ne!(a, b);
+        assert_eq!(c.id, 0);
+        assert_eq!(f.vreg_count(RegClass::Int), 2);
+        assert_eq!(f.vreg_count(RegClass::Flt), 1);
+    }
+
+    #[test]
+    fn retarget_rewrites_branches() {
+        let mut f = Function::new("t");
+        let b0 = f.add_block("b0");
+        let b1 = f.add_block("b1");
+        let b2 = f.add_block("b2");
+        f.block_mut(b0)
+            .insts
+            .push(Inst::br(Cond::Eq, Operand::ImmI(0), Operand::ImmI(0), b1));
+        f.retarget(b1, b2);
+        assert_eq!(f.block(b0).insts[0].target, Some(b2));
+    }
+}

@@ -1,0 +1,278 @@
+//! Reference interpreter for mini-FORTRAN programs.
+//!
+//! Executes the AST directly with the same arithmetic conventions as the
+//! simulated machine (wrapping 64-bit integer arithmetic, truncating integer
+//! division with `x/0 = 0`, IEEE doubles, non-excepting out-of-bounds array
+//! accesses). The interpreter is the ground truth for differential testing:
+//! the architectural result of simulating compiled code at **every**
+//! optimization level and machine configuration must match it.
+
+use crate::ast::{ArrId, BinOp, Bound, Expr, Index, Program, Stmt};
+use crate::value::{ArrayVal, Value};
+
+/// Initial data environment for a program run.
+#[derive(Debug, Clone, Default)]
+pub struct DataInit {
+    /// Initial contents per array (in declaration order). Missing entries
+    /// default to zero-filled.
+    pub arrays: Vec<Option<ArrayVal>>,
+}
+
+impl DataInit {
+    /// Empty initializer (all arrays zero).
+    pub fn new() -> DataInit {
+        DataInit::default()
+    }
+
+    /// Set the initial value of array `a`.
+    pub fn with_array(mut self, a: ArrId, val: ArrayVal) -> DataInit {
+        if self.arrays.len() <= a.0 as usize {
+            self.arrays.resize(a.0 as usize + 1, None);
+        }
+        self.arrays[a.0 as usize] = Some(val);
+        self
+    }
+}
+
+/// Final architectural state of a run.
+#[derive(Debug, Clone)]
+pub struct ExecState {
+    /// Array contents in declaration order.
+    pub arrays: Vec<ArrayVal>,
+    /// Scalar values in declaration order.
+    pub scalars: Vec<Value>,
+    /// Dynamically executed AST statements (a rough work metric).
+    pub stmts_executed: u64,
+}
+
+struct Interp<'a> {
+    p: &'a Program,
+    arrays: Vec<ArrayVal>,
+    scalars: Vec<Value>,
+    stmts: u64,
+}
+
+/// Wrapping integer binary ops with the machine's division convention.
+pub fn int_binop(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+    }
+}
+
+/// IEEE double binary ops.
+pub fn flt_binop(op: BinOp, a: f64, b: f64) -> f64 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Rem => panic!("float remainder unsupported"),
+    }
+}
+
+impl<'a> Interp<'a> {
+    fn index_value(&self, idx: &Index) -> i64 {
+        let mut v = idx.off;
+        for &(var, coef) in &idx.terms {
+            v = v.wrapping_add(self.scalars[var.0 as usize].as_i().wrapping_mul(coef));
+        }
+        v
+    }
+
+    fn eval(&mut self, e: &Expr) -> Value {
+        match e {
+            Expr::Ci(v) => Value::I(*v),
+            Expr::Cf(v) => Value::F(*v),
+            Expr::Var(v) => self.scalars[v.0 as usize],
+            Expr::Cvt(inner) => Value::F(self.eval(inner).as_i() as f64),
+            Expr::Arr(a, idx) => {
+                let i = self.index_value(idx);
+                self.arrays[a.0 as usize].get(i)
+            }
+            Expr::Bin(op, l, r) => {
+                let lv = self.eval(l);
+                let rv = self.eval(r);
+                match (lv, rv) {
+                    (Value::I(a), Value::I(b)) => Value::I(int_binop(*op, a, b)),
+                    (Value::F(a), Value::F(b)) => Value::F(flt_binop(*op, a, b)),
+                    _ => panic!("mixed-class expression at runtime"),
+                }
+            }
+        }
+    }
+
+    fn bound(&self, b: Bound) -> i64 {
+        match b {
+            Bound::Const(c) => c,
+            Bound::Var(v) => self.scalars[v.0 as usize].as_i(),
+        }
+    }
+
+    fn run(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmts += 1;
+            match s {
+                Stmt::SetScalar(v, e) => {
+                    let val = self.eval(e);
+                    assert_eq!(val.class(), self.p.var_class(*v));
+                    self.scalars[v.0 as usize] = val;
+                }
+                Stmt::SetArr(a, idx, e) => {
+                    let val = self.eval(e);
+                    let i = self.index_value(idx);
+                    self.arrays[a.0 as usize].set(i, val);
+                }
+                Stmt::For { var, lo, hi, body } => {
+                    let lo = self.bound(*lo);
+                    let hi = self.bound(*hi);
+                    let mut i = lo;
+                    while i <= hi {
+                        self.scalars[var.0 as usize] = Value::I(i);
+                        self.run(body);
+                        i += 1;
+                    }
+                    // FORTRAN leaves the loop variable one past the bound
+                    // (matches the lowered code's exit value).
+                    self.scalars[var.0 as usize] = Value::I(if lo <= hi {
+                        hi.wrapping_add(1)
+                    } else {
+                        lo
+                    });
+                }
+                Stmt::If { cond, then, els, .. } => {
+                    let (c, le, re) = cond;
+                    let lv = self.eval(le);
+                    let rv = self.eval(re);
+                    let taken = match (lv, rv) {
+                        (Value::I(a), Value::I(b)) => c.eval(a, b),
+                        (Value::F(a), Value::F(b)) => c.eval(a, b),
+                        _ => panic!("mixed-class comparison"),
+                    };
+                    if taken {
+                        self.run(then);
+                    } else {
+                        self.run(els);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Interpret `p` starting from `init`; returns the final state.
+pub fn interpret(p: &Program, init: &DataInit) -> ExecState {
+    let arrays = p
+        .arrays
+        .iter()
+        .enumerate()
+        .map(|(i, decl)| {
+            match init.arrays.get(i).and_then(|o| o.clone()) {
+                Some(v) => {
+                    assert_eq!(v.class(), decl.class, "init class for {}", decl.name);
+                    assert_eq!(v.len(), decl.elems, "init size for {}", decl.name);
+                    v
+                }
+                None => ArrayVal::zeros(decl.class, decl.elems),
+            }
+        })
+        .collect();
+    let scalars = p.vars.iter().map(|v| Value::zero(v.class)).collect();
+    let mut it = Interp { p, arrays, scalars, stmts: 0 };
+    it.run(&p.body);
+    ExecState { arrays: it.arrays, scalars: it.scalars, stmts_executed: it.stmts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Cond;
+
+    #[test]
+    fn vector_add() {
+        let mut p = Program::new("add");
+        let i = p.int_var("i");
+        let a = p.flt_arr("A", 8);
+        let b = p.flt_arr("B", 8);
+        let c = p.flt_arr("C", 8);
+        p.body = vec![Stmt::For {
+            var: i,
+            lo: Bound::Const(0),
+            hi: Bound::Const(7),
+            body: vec![Stmt::SetArr(
+                c,
+                Index::var(i),
+                Expr::add(Expr::at(a, Index::var(i)), Expr::at(b, Index::var(i))),
+            )],
+        }];
+        let init = DataInit::new()
+            .with_array(a, ArrayVal::F((0..8).map(|x| x as f64).collect()))
+            .with_array(b, ArrayVal::F(vec![10.0; 8]));
+        let out = interpret(&p, &init);
+        assert_eq!(out.arrays[2], ArrayVal::F(vec![
+            10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0
+        ]));
+        assert_eq!(out.scalars[i.0 as usize], Value::I(8));
+    }
+
+    #[test]
+    fn max_search_with_if() {
+        let mut p = Program::new("maxval");
+        let i = p.int_var("i");
+        let s = p.flt_var("s");
+        let a = p.flt_arr("A", 5);
+        p.body = vec![Stmt::For {
+            var: i,
+            lo: Bound::Const(0),
+            hi: Bound::Const(4),
+            body: vec![Stmt::If {
+                cond: (Cond::Gt, Expr::at(a, Index::var(i)), Expr::Var(s)),
+                then: vec![Stmt::SetScalar(s, Expr::at(a, Index::var(i)))],
+                els: vec![],
+                prob: 0.2,
+            }],
+        }];
+        let init = DataInit::new()
+            .with_array(a, ArrayVal::F(vec![1.0, 9.0, 3.0, 9.5, 2.0]));
+        let out = interpret(&p, &init);
+        assert_eq!(out.scalars[s.0 as usize], Value::F(9.5));
+    }
+
+    #[test]
+    fn zero_trip_loop_runs_zero_times() {
+        let mut p = Program::new("zt");
+        let i = p.int_var("i");
+        let s = p.int_var("s");
+        p.body = vec![Stmt::For {
+            var: i,
+            lo: Bound::Const(5),
+            hi: Bound::Const(4),
+            body: vec![Stmt::SetScalar(s, Expr::Ci(1))],
+        }];
+        let out = interpret(&p, &DataInit::new());
+        assert_eq!(out.scalars[s.0 as usize], Value::I(0));
+        assert_eq!(out.scalars[i.0 as usize], Value::I(5));
+    }
+
+    #[test]
+    fn int_division_by_zero_is_zero() {
+        assert_eq!(int_binop(BinOp::Div, 5, 0), 0);
+        assert_eq!(int_binop(BinOp::Rem, 5, 0), 0);
+        assert_eq!(int_binop(BinOp::Div, -7, 2), -3);
+    }
+}

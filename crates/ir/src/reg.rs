@@ -1,0 +1,113 @@
+//! Virtual registers.
+//!
+//! The IR is register-based with an unbounded supply of *virtual registers*,
+//! matching the paper's processor model ("an unlimited supply of registers",
+//! §3.1). Each register belongs to one of two classes — integer or floating
+//! point — mirroring the split register files of the MIPS-R2000-like target.
+//! Physical register pressure is measured after the fact by `ilpc-regalloc`.
+
+use std::fmt;
+
+/// Register class: the paper's machine has separate integer and floating
+/// point register files (register usage is reported as the *sum* of the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// 64-bit integer register (`rNi` in the paper's listings).
+    Int,
+    /// 64-bit IEEE double register (`rNf` in the paper's listings).
+    Flt,
+}
+
+impl RegClass {
+    /// All register classes, in a fixed order usable for per-class tables.
+    pub const ALL: [RegClass; 2] = [RegClass::Int, RegClass::Flt];
+
+    /// Index of this class into per-class tables (`[T; 2]`).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            RegClass::Int => 0,
+            RegClass::Flt => 1,
+        }
+    }
+
+    /// One-letter suffix used by the pretty printer (`i` / `f`), matching
+    /// the paper's assembly listings (`r2f`, `r1i`, ...).
+    pub fn suffix(self) -> char {
+        match self {
+            RegClass::Int => 'i',
+            RegClass::Flt => 'f',
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RegClass::Int => "int",
+            RegClass::Flt => "flt",
+        })
+    }
+}
+
+/// A virtual register: a class plus a dense id unique within its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg {
+    /// Dense id, unique per class within a function.
+    pub id: u32,
+    /// Register file this register lives in.
+    pub class: RegClass,
+}
+
+impl Reg {
+    /// Construct an integer register.
+    #[inline]
+    pub fn int(id: u32) -> Reg {
+        Reg { id, class: RegClass::Int }
+    }
+
+    /// Construct a floating point register.
+    #[inline]
+    pub fn flt(id: u32) -> Reg {
+        Reg { id, class: RegClass::Flt }
+    }
+
+    /// True if this register is in the integer file.
+    #[inline]
+    pub fn is_int(self) -> bool {
+        self.class == RegClass::Int
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}{}", self.id, self.class.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(Reg::int(1).to_string(), "r1i");
+        assert_eq!(Reg::flt(42).to_string(), "r42f");
+    }
+
+    #[test]
+    fn class_index_is_dense() {
+        assert_eq!(RegClass::Int.index(), 0);
+        assert_eq!(RegClass::Flt.index(), 1);
+        for (i, c) in RegClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn regs_have_total_order() {
+        assert!(Reg::int(1) < Reg::int(2));
+        assert!(Reg::int(0) < Reg::flt(0));
+        assert_eq!(Reg::flt(3), Reg::flt(3));
+    }
+}

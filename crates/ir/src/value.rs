@@ -1,0 +1,181 @@
+//! Runtime values and array contents shared by the AST interpreter and the
+//! execution-driven simulator.
+
+use crate::reg::RegClass;
+
+/// A scalar runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    I(i64),
+    F(f64),
+}
+
+impl Value {
+    /// Zero of the given class.
+    pub fn zero(class: RegClass) -> Value {
+        match class {
+            RegClass::Int => Value::I(0),
+            RegClass::Flt => Value::F(0.0),
+        }
+    }
+
+    /// Class of the value.
+    pub fn class(self) -> RegClass {
+        match self {
+            Value::I(_) => RegClass::Int,
+            Value::F(_) => RegClass::Flt,
+        }
+    }
+
+    /// Integer payload (panics on floats).
+    pub fn as_i(self) -> i64 {
+        match self {
+            Value::I(v) => v,
+            Value::F(v) => panic!("expected int value, got {v}"),
+        }
+    }
+
+    /// Float payload (panics on ints).
+    pub fn as_f(self) -> f64 {
+        match self {
+            Value::F(v) => v,
+            Value::I(v) => panic!("expected float value, got {v}"),
+        }
+    }
+
+    /// Raw 64-bit image used by the flat simulated memory.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::I(v) => v as u64,
+            Value::F(v) => v.to_bits(),
+        }
+    }
+
+    /// Decode a raw 64-bit image as `class`.
+    pub fn from_bits(bits: u64, class: RegClass) -> Value {
+        match class {
+            RegClass::Int => Value::I(bits as i64),
+            RegClass::Flt => Value::F(f64::from_bits(bits)),
+        }
+    }
+}
+
+/// Contents of one array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayVal {
+    I(Vec<i64>),
+    F(Vec<f64>),
+}
+
+impl ArrayVal {
+    /// Zero-filled array of `n` elements of `class`.
+    pub fn zeros(class: RegClass, n: usize) -> ArrayVal {
+        match class {
+            RegClass::Int => ArrayVal::I(vec![0; n]),
+            RegClass::Flt => ArrayVal::F(vec![0.0; n]),
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        match self {
+            ArrayVal::I(v) => v.len(),
+            ArrayVal::F(v) => v.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element class.
+    pub fn class(&self) -> RegClass {
+        match self {
+            ArrayVal::I(_) => RegClass::Int,
+            ArrayVal::F(_) => RegClass::Flt,
+        }
+    }
+
+    /// Read element `i`; out-of-range reads return zero (non-excepting).
+    pub fn get(&self, i: i64) -> Value {
+        if i < 0 || i as usize >= self.len() {
+            return Value::zero(self.class());
+        }
+        match self {
+            ArrayVal::I(v) => Value::I(v[i as usize]),
+            ArrayVal::F(v) => Value::F(v[i as usize]),
+        }
+    }
+
+    /// Write element `i`; out-of-range writes are ignored.
+    pub fn set(&mut self, i: i64, val: Value) {
+        if i < 0 || i as usize >= self.len() {
+            return;
+        }
+        match (self, val) {
+            (ArrayVal::I(v), Value::I(x)) => v[i as usize] = x,
+            (ArrayVal::F(v), Value::F(x)) => v[i as usize] = x,
+            (a, v) => panic!("class mismatch writing {v:?} into {:?} array", a.class()),
+        }
+    }
+
+    /// Maximum relative difference against `other` (0.0 when identical).
+    /// Used by differential tests with an FP tolerance, since the expansion
+    /// transformations reassociate reductions.
+    pub fn max_rel_diff(&self, other: &ArrayVal) -> f64 {
+        match (self, other) {
+            (ArrayVal::I(a), ArrayVal::I(b)) => {
+                assert_eq!(a.len(), b.len());
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| if x == y { 0.0 } else { 1.0 })
+                    .fold(0.0, f64::max)
+            }
+            (ArrayVal::F(a), ArrayVal::F(b)) => {
+                assert_eq!(a.len(), b.len());
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| {
+                        let d = (x - y).abs();
+                        let scale = x.abs().max(y.abs()).max(1.0);
+                        d / scale
+                    })
+                    .fold(0.0, f64::max)
+            }
+            _ => panic!("comparing arrays of different classes"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        let v = Value::F(-3.25);
+        assert_eq!(Value::from_bits(v.to_bits(), RegClass::Flt), v);
+        let v = Value::I(-7);
+        assert_eq!(Value::from_bits(v.to_bits(), RegClass::Int), v);
+    }
+
+    #[test]
+    fn array_bounds_are_nonexcepting() {
+        let mut a = ArrayVal::zeros(RegClass::Flt, 4);
+        assert_eq!(a.get(-1), Value::F(0.0));
+        assert_eq!(a.get(100), Value::F(0.0));
+        a.set(2, Value::F(5.0));
+        a.set(100, Value::F(9.0)); // ignored
+        assert_eq!(a.get(2), Value::F(5.0));
+    }
+
+    #[test]
+    fn rel_diff() {
+        let a = ArrayVal::F(vec![1.0, 2.0]);
+        let b = ArrayVal::F(vec![1.0, 2.0 + 1e-12]);
+        assert!(a.max_rel_diff(&b) < 1e-9);
+        let c = ArrayVal::F(vec![1.0, 3.0]);
+        assert!(a.max_rel_diff(&c) > 0.3);
+    }
+}

@@ -1,0 +1,243 @@
+//! IR verifier.
+//!
+//! Catches malformed IR early; every pass in the pipeline runs the verifier
+//! after itself in debug builds. Checks performed:
+//!
+//! * operand slot shapes match the opcode (e.g. stores have a value operand,
+//!   branches have a target, ALU destinations exist);
+//! * register classes are consistent (no `f` register fed to an integer add,
+//!   branch compares same-class operands, load/store value class matches the
+//!   symbol's element class);
+//! * branch targets exist in the layout;
+//! * the last layout block cannot fall off the end of the function;
+//! * register ids are within the function's allocation counters.
+
+use crate::func::{BlockId, Function, Module};
+use crate::inst::{Inst, Operand};
+use crate::op::Opcode;
+use crate::reg::RegClass;
+
+/// A verifier failure, with block/instruction coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    pub block: BlockId,
+    pub index: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} inst {}: {}", self.block, self.index, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn err(block: BlockId, index: usize, message: String) -> Result<(), VerifyError> {
+    Err(VerifyError { block, index, message })
+}
+
+fn check_class(
+    what: &str,
+    op: Operand,
+    want: RegClass,
+    b: BlockId,
+    i: usize,
+) -> Result<(), VerifyError> {
+    match op.class() {
+        Some(c) if c == want => Ok(()),
+        Some(c) => err(b, i, format!("{what} has class {c}, expected {want}")),
+        None => err(b, i, format!("{what} operand missing")),
+    }
+}
+
+fn verify_inst(
+    f: &Function,
+    m: Option<&Module>,
+    b: BlockId,
+    i: usize,
+    inst: &Inst,
+) -> Result<(), VerifyError> {
+    use Opcode::*;
+    // Register ids in range.
+    for r in inst.uses().chain(inst.def()) {
+        if r.id >= f.vreg_count(r.class) {
+            return err(b, i, format!("register {r} out of allocated range"));
+        }
+    }
+    // Branch targets exist.
+    if let Some(t) = inst.target {
+        if f.layout_pos(t).is_none() {
+            return err(b, i, format!("target {t} not in layout"));
+        }
+        if !inst.op.is_branch() {
+            return err(b, i, "non-branch has a target".into());
+        }
+    } else if inst.op.is_branch() {
+        return err(b, i, "branch without target".into());
+    }
+
+    match inst.op {
+        Mov => {
+            let d = inst.dst.ok_or_else(|| VerifyError {
+                block: b,
+                index: i,
+                message: "mov without dst".into(),
+            })?;
+            check_class("mov src", inst.src[0], d.class, b, i)?;
+        }
+        Add | Sub | And | Or | Xor | Shl | Shr | Mul | Div | Rem | FAdd | FSub
+        | FMul | FDiv => {
+            let d = inst.dst.ok_or_else(|| VerifyError {
+                block: b,
+                index: i,
+                message: "alu without dst".into(),
+            })?;
+            let want = inst.op.result_class().unwrap();
+            if d.class != want {
+                return err(b, i, format!("dst {d} wrong class for {}", inst.op));
+            }
+            check_class("src1", inst.src[0], want, b, i)?;
+            check_class("src2", inst.src[1], want, b, i)?;
+        }
+        CvtIF => {
+            check_class("cvt src", inst.src[0], RegClass::Int, b, i)?;
+            if inst.dst.map(|d| d.class) != Some(RegClass::Flt) {
+                return err(b, i, "cvtif dst must be float".into());
+            }
+        }
+        CvtFI => {
+            check_class("cvt src", inst.src[0], RegClass::Flt, b, i)?;
+            if inst.dst.map(|d| d.class) != Some(RegClass::Int) {
+                return err(b, i, "cvtfi dst must be int".into());
+            }
+        }
+        Load => {
+            let d = inst.dst.ok_or_else(|| VerifyError {
+                block: b,
+                index: i,
+                message: "load without dst".into(),
+            })?;
+            check_class("base", inst.src[0], RegClass::Int, b, i)?;
+            check_class("offset", inst.src[1], RegClass::Int, b, i)?;
+            let mem = inst.mem.ok_or_else(|| VerifyError {
+                block: b,
+                index: i,
+                message: "load without mem tag".into(),
+            })?;
+            if let Some(module) = m {
+                if module.symtab.get(mem.sym).class != d.class {
+                    return err(b, i, format!("load class mismatch for {}", mem.sym));
+                }
+            }
+        }
+        Store => {
+            check_class("base", inst.src[0], RegClass::Int, b, i)?;
+            check_class("offset", inst.src[1], RegClass::Int, b, i)?;
+            if !inst.src[2].is_some() {
+                return err(b, i, "store without value".into());
+            }
+            let mem = inst.mem.ok_or_else(|| VerifyError {
+                block: b,
+                index: i,
+                message: "store without mem tag".into(),
+            })?;
+            if let (Some(module), Some(c)) = (m, inst.src[2].class()) {
+                if module.symtab.get(mem.sym).class != c {
+                    return err(b, i, format!("store class mismatch for {}", mem.sym));
+                }
+            }
+        }
+        Br(_) => {
+            let c1 = inst.src[0].class();
+            let c2 = inst.src[1].class();
+            if c1.is_none() || c1 != c2 {
+                return err(b, i, "branch compares mismatched classes".into());
+            }
+        }
+        Jump | Halt | Nop => {}
+    }
+    Ok(())
+}
+
+/// Verify a function (optionally against its module symbol table).
+pub fn verify_function(f: &Function, m: Option<&Module>) -> Result<(), VerifyError> {
+    for &bid in f.layout_order() {
+        let blk = f.block(bid);
+        for (i, inst) in blk.insts.iter().enumerate() {
+            verify_inst(f, m, bid, i, inst)?;
+        }
+    }
+    // Last block must not fall off the end.
+    if let Some(&last) = f.layout_order().last() {
+        if !f.block(last).ends_in_transfer() {
+            return err(
+                last,
+                f.block(last).insts.len().saturating_sub(1),
+                "final layout block falls off the end of the function".into(),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Verify a module.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    verify_function(&m.func, Some(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::MemLoc;
+    use crate::reg::Reg;
+
+    #[test]
+    fn accepts_wellformed() {
+        let mut m = Module::new("ok");
+        let a = m.symtab.declare("A", 4, RegClass::Flt);
+        let b = m.func.add_block("entry");
+        let base = m.func.new_reg(RegClass::Int);
+        let v = m.func.new_reg(RegClass::Flt);
+        let blk = m.func.block_mut(b);
+        blk.insts.push(Inst::mov(base, Operand::Sym(a)));
+        blk.insts.push(Inst::load(v, base.into(), Operand::ImmI(0), MemLoc::opaque(a)));
+        blk.insts.push(Inst::halt());
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_class_mismatch() {
+        let mut m = Module::new("bad");
+        let b = m.func.add_block("entry");
+        let rf = m.func.new_reg(RegClass::Flt);
+        let ri = m.func.new_reg(RegClass::Int);
+        m.func
+            .block_mut(b)
+            .insts
+            .push(Inst::alu(Opcode::Add, ri, rf.into(), Operand::ImmI(1)));
+        m.func.block_mut(b).insts.push(Inst::halt());
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_fallthrough_off_end() {
+        let mut m = Module::new("bad");
+        let b = m.func.add_block("entry");
+        let ri = m.func.new_reg(RegClass::Int);
+        m.func.block_mut(b).insts.push(Inst::mov(ri, Operand::ImmI(0)));
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_register() {
+        let mut m = Module::new("bad");
+        let b = m.func.add_block("entry");
+        m.func
+            .block_mut(b)
+            .insts
+            .push(Inst::mov(Reg::int(99), Operand::ImmI(0)));
+        m.func.block_mut(b).insts.push(Inst::halt());
+        assert!(verify_module(&m).is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! # ilpc-machine — parameterized superscalar/VLIW processor description
+//!
+//! The paper's node processor model (§3.1): in-order execution with register
+//! interlocks, deterministic instruction latencies (Table 1), a parameterized
+//! issue rate (1/2/4/8) with *no* restriction on the combination of
+//! instructions issued per cycle except a single branch slot, non-excepting
+//! loads (so the compiler may schedule them above branches), and an unlimited
+//! register supply.
+
+use ilpc_ir::{Inst, Opcode};
+
+/// Instruction latencies — the paper's Table 1.
+///
+/// | Function      | Latency | | Function      | Latency |
+/// |---------------|---------|-|---------------|---------|
+/// | Int ALU       | 1       | | FP ALU        | 3       |
+/// | Int multiply  | 3       | | FP conversion | 3       |
+/// | Int divide    | 10      | | FP multiply   | 3       |
+/// | branch        | 1/1 slot| | FP divide     | 10      |
+/// | memory load   | 2       | | memory store  | 1       |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyTable {
+    pub int_alu: u32,
+    pub int_mul: u32,
+    pub int_div: u32,
+    pub branch: u32,
+    pub load: u32,
+    pub store: u32,
+    pub fp_alu: u32,
+    pub fp_cvt: u32,
+    pub fp_mul: u32,
+    pub fp_div: u32,
+}
+
+/// Table 1 of the paper.
+pub const TABLE1: LatencyTable = LatencyTable {
+    int_alu: 1,
+    int_mul: 3,
+    int_div: 10,
+    branch: 1,
+    load: 2,
+    store: 1,
+    fp_alu: 3,
+    fp_cvt: 3,
+    fp_mul: 3,
+    fp_div: 10,
+};
+
+impl LatencyTable {
+    /// Latency of one instruction under this table.
+    pub fn of(&self, inst: &Inst) -> u32 {
+        match inst.op {
+            Opcode::Mov => self.int_alu, // register moves complete in 1 cycle
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Shl
+            | Opcode::Shr => self.int_alu,
+            Opcode::Mul => self.int_mul,
+            Opcode::Div | Opcode::Rem => self.int_div,
+            Opcode::FAdd | Opcode::FSub => self.fp_alu,
+            Opcode::FMul => self.fp_mul,
+            Opcode::FDiv => self.fp_div,
+            Opcode::CvtIF | Opcode::CvtFI => self.fp_cvt,
+            Opcode::Load => self.load,
+            Opcode::Store => self.store,
+            Opcode::Br(_) | Opcode::Jump => self.branch,
+            Opcode::Halt | Opcode::Nop => 1,
+        }
+    }
+}
+
+/// Functional-unit classes for issue-slot accounting.
+///
+/// The paper's base model places "no limitation ... on the combination of
+/// instructions that can be issued in the same cycle"; it also notes that
+/// under "a more restricted processor model" some transformations behave
+/// differently. [`FuLimits`] makes that restricted model expressible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuKind {
+    /// Integer ALU operations and register moves.
+    IntAlu,
+    /// Integer multiply / divide / remainder.
+    IntMulDiv,
+    /// Floating point operations and conversions.
+    Fp,
+    /// Memory loads and stores.
+    Mem,
+    /// Control transfers.
+    Branch,
+}
+
+/// Per-cycle issue limits per functional-unit class
+/// (`u32::MAX` = unlimited, the paper's base model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuLimits {
+    pub int_alu: u32,
+    pub int_mul_div: u32,
+    pub fp: u32,
+    pub mem: u32,
+}
+
+impl FuLimits {
+    /// No combination restrictions (the paper's evaluated model).
+    pub const UNLIMITED: FuLimits = FuLimits {
+        int_alu: u32::MAX,
+        int_mul_div: u32::MAX,
+        fp: u32::MAX,
+        mem: u32::MAX,
+    };
+
+    /// Limit for one class.
+    pub fn of(&self, kind: FuKind) -> u32 {
+        match kind {
+            FuKind::IntAlu => self.int_alu,
+            FuKind::IntMulDiv => self.int_mul_div,
+            FuKind::Fp => self.fp,
+            FuKind::Mem => self.mem,
+            FuKind::Branch => u32::MAX, // branches use `branch_slots`
+        }
+    }
+}
+
+/// Functional-unit class of an instruction.
+pub fn fu_kind(inst: &Inst) -> FuKind {
+    match inst.op {
+        Opcode::Mov
+        | Opcode::Add
+        | Opcode::Sub
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor
+        | Opcode::Shl
+        | Opcode::Shr => FuKind::IntAlu,
+        Opcode::Mul | Opcode::Div | Opcode::Rem => FuKind::IntMulDiv,
+        Opcode::FAdd
+        | Opcode::FSub
+        | Opcode::FMul
+        | Opcode::FDiv
+        | Opcode::CvtIF
+        | Opcode::CvtFI => FuKind::Fp,
+        Opcode::Load | Opcode::Store => FuKind::Mem,
+        Opcode::Br(_) | Opcode::Jump | Opcode::Halt | Opcode::Nop => FuKind::Branch,
+    }
+}
+
+/// A machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Machine {
+    /// Instructions fetched/issued per cycle (`u32::MAX` = unlimited, used
+    /// for the paper's worked examples which assume "infinite resources").
+    pub issue_width: u32,
+    /// Branches issued per cycle (the paper: "1 slot").
+    pub branch_slots: u32,
+    /// Per-class functional unit limits (unlimited in the paper's model).
+    pub fu: FuLimits,
+    /// Instruction latencies.
+    pub latency: LatencyTable,
+    /// Non-excepting loads: the compiler may hoist loads above branches.
+    pub nonexcepting_loads: bool,
+}
+
+impl Machine {
+    /// The paper's issue-N configuration. A width of 0 is meaningless (the
+    /// machine could never issue anything); it is clamped to 1.
+    pub fn issue(width: u32) -> Machine {
+        Machine {
+            issue_width: width.max(1),
+            branch_slots: 1,
+            fu: FuLimits::UNLIMITED,
+            latency: TABLE1,
+            nonexcepting_loads: true,
+        }
+    }
+
+    /// Restrict the number of memory ports (loads+stores per cycle).
+    pub fn with_mem_ports(mut self, ports: u32) -> Machine {
+        self.fu.mem = ports;
+        self
+    }
+
+    /// Restrict the number of floating point units.
+    pub fn with_fp_units(mut self, units: u32) -> Machine {
+        self.fu.fp = units;
+        self
+    }
+
+    /// Restrict the number of integer multiply/divide units.
+    pub fn with_mul_units(mut self, units: u32) -> Machine {
+        self.fu.int_mul_div = units;
+        self
+    }
+
+    /// Unlimited-issue configuration (used by the worked examples in §2).
+    pub fn unlimited() -> Machine {
+        Machine { issue_width: u32::MAX, ..Machine::issue(1) }
+    }
+
+    /// The base configuration for all speedup calculations in the paper:
+    /// "an issue-1 processor with conventional compiler transformations."
+    pub fn base() -> Machine {
+        Machine::issue(1)
+    }
+
+    /// Short display name (`issue-4`, `issue-8/mem2`).
+    pub fn name(&self) -> String {
+        let mut n = if self.issue_width == u32::MAX {
+            "issue-inf".to_string()
+        } else {
+            format!("issue-{}", self.issue_width)
+        };
+        if self.fu.mem != u32::MAX {
+            n.push_str(&format!("/mem{}", self.fu.mem));
+        }
+        if self.fu.fp != u32::MAX {
+            n.push_str(&format!("/fp{}", self.fu.fp));
+        }
+        if self.fu.int_mul_div != u32::MAX {
+            n.push_str(&format!("/mul{}", self.fu.int_mul_div));
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::{Cond, Operand, Reg};
+
+    #[test]
+    fn table1_latencies() {
+        let m = Machine::issue(8);
+        let lat = |i: &Inst| m.latency.of(i);
+        assert_eq!(lat(&Inst::alu(Opcode::Add, Reg::int(0), Operand::ImmI(1), Operand::ImmI(2))), 1);
+        assert_eq!(lat(&Inst::alu(Opcode::Mul, Reg::int(0), Operand::ImmI(1), Operand::ImmI(2))), 3);
+        assert_eq!(lat(&Inst::alu(Opcode::Div, Reg::int(0), Operand::ImmI(1), Operand::ImmI(2))), 10);
+        assert_eq!(lat(&Inst::alu(Opcode::FAdd, Reg::flt(0), Operand::ImmF(1.0), Operand::ImmF(2.0))), 3);
+        assert_eq!(lat(&Inst::alu(Opcode::FDiv, Reg::flt(0), Operand::ImmF(1.0), Operand::ImmF(2.0))), 10);
+        let mem = ilpc_ir::MemLoc::affine(ilpc_ir::SymId(0), 0, 0);
+        assert_eq!(lat(&Inst::load(Reg::flt(0), Operand::Sym(ilpc_ir::SymId(0)), Operand::ImmI(0), mem)), 2);
+        assert_eq!(lat(&Inst::store(Operand::Sym(ilpc_ir::SymId(0)), Operand::ImmI(0), Operand::ImmF(0.0), mem)), 1);
+        assert_eq!(lat(&Inst::br(Cond::Lt, Operand::ImmI(0), Operand::ImmI(1), ilpc_ir::BlockId(0))), 1);
+    }
+
+    #[test]
+    fn fu_limits() {
+        let m = Machine::issue(8).with_mem_ports(2).with_fp_units(4);
+        assert_eq!(m.fu.mem, 2);
+        assert_eq!(m.fu.fp, 4);
+        assert_eq!(m.fu.int_alu, u32::MAX);
+        assert_eq!(m.name(), "issue-8/mem2/fp4");
+        let mem = ilpc_ir::MemLoc::affine(ilpc_ir::SymId(0), 0, 0);
+        let ld = Inst::load(Reg::flt(0), Operand::Sym(ilpc_ir::SymId(0)), Operand::ImmI(0), mem);
+        assert_eq!(fu_kind(&ld), FuKind::Mem);
+        assert_eq!(m.fu.of(FuKind::Mem), 2);
+        let fmul = Inst::alu(Opcode::FMul, Reg::flt(0), Operand::ImmF(1.0), Operand::ImmF(2.0));
+        assert_eq!(fu_kind(&fmul), FuKind::Fp);
+        let mul = Inst::alu(Opcode::Mul, Reg::int(0), Operand::ImmI(1), Operand::ImmI(2));
+        assert_eq!(fu_kind(&mul), FuKind::IntMulDiv);
+        let br = Inst::br(Cond::Lt, Operand::ImmI(0), Operand::ImmI(1), ilpc_ir::BlockId(0));
+        assert_eq!(fu_kind(&br), FuKind::Branch);
+    }
+
+    #[test]
+    fn zero_width_clamped() {
+        assert_eq!(Machine::issue(0).issue_width, 1);
+    }
+
+    #[test]
+    fn configs() {
+        assert_eq!(Machine::issue(4).name(), "issue-4");
+        assert_eq!(Machine::unlimited().name(), "issue-inf");
+        assert_eq!(Machine::base().issue_width, 1);
+        assert_eq!(Machine::issue(8).branch_slots, 1);
+        assert!(Machine::issue(2).nonexcepting_loads);
+    }
+}

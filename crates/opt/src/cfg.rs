@@ -1,0 +1,165 @@
+//! Control-flow graph simplification.
+//!
+//! * removes unreachable blocks from the layout;
+//! * removes `jump` instructions that target the fall-through block;
+//! * merges a block into its layout predecessor when it is reached *only*
+//!   by fall-through (no branch anywhere targets it). Because blocks may
+//!   contain side exits, such merging builds straight-line traces through
+//!   lowered `if` shapes — the seed the superblock former grows from.
+
+use ilpc_ir::{Function, Opcode};
+
+/// Simplify the CFG; returns true if anything changed.
+pub fn simplify_cfg(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let mut round = false;
+
+        // 1. Drop unreachable blocks from the layout.
+        {
+            let entry = f.entry();
+            let mut reach = vec![false; f.num_blocks()];
+            let mut stack = vec![entry];
+            while let Some(b) = stack.pop() {
+                if std::mem::replace(&mut reach[b.0 as usize], true) {
+                    continue;
+                }
+                stack.extend(f.succs(b));
+            }
+            let before = f.layout.len();
+            f.layout.retain(|b| reach[b.0 as usize]);
+            round |= f.layout.len() != before;
+        }
+
+        // 2. Remove jumps to the immediate fall-through.
+        for idx in 0..f.layout.len() {
+            let bid = f.layout[idx];
+            let next = f.layout.get(idx + 1).copied();
+            let blk = f.block_mut(bid);
+            if let Some(last) = blk.insts.last() {
+                if last.op == Opcode::Jump && last.target == next {
+                    blk.insts.pop();
+                    round = true;
+                }
+            }
+        }
+
+        // 3. Merge pure fall-through blocks into their predecessor.
+        {
+            // Blocks targeted by any branch cannot be merged away.
+            let mut targeted = vec![false; f.num_blocks()];
+            for (_, inst) in f.insts() {
+                if let Some(t) = inst.target {
+                    targeted[t.0 as usize] = true;
+                }
+            }
+            let mut idx = 0;
+            while idx + 1 < f.layout.len() {
+                let a = f.layout[idx];
+                let b = f.layout[idx + 1];
+                let a_falls = !f.block(a).ends_in_transfer();
+                // Never absorb a loop's exit code into its latch: if `a`
+                // ends with a *backward* conditional branch (a back edge),
+                // keep the block boundary so the loop stays in canonical
+                // bottom-test form for the unroller.
+                let a_ends_backedge = f.block(a).insts.last().is_some_and(|i| {
+                    matches!(i.op, Opcode::Br(_))
+                        && i.target
+                            .and_then(|t| f.layout_pos(t))
+                            .is_some_and(|tp| tp <= idx)
+                });
+                if a_falls && !targeted[b.0 as usize] && !a_ends_backedge {
+                    let moved = std::mem::take(&mut f.block_mut(b).insts);
+                    f.block_mut(a).insts.extend(moved);
+                    f.layout.remove(idx + 1);
+                    round = true;
+                    // Stay at idx: the new fall-through may merge again.
+                } else {
+                    idx += 1;
+                }
+            }
+        }
+
+        if !round {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::inst::Inst;
+    use ilpc_ir::{Cond, Operand, RegClass};
+
+    #[test]
+    fn merges_triangle_then_block_into_trace() {
+        // b0: br -> endif ; then: x = 1 ; endif: halt
+        let mut f = Function::new("t");
+        let x = f.new_reg(RegClass::Int);
+        let b0 = f.add_block("b0");
+        let then = f.add_block("then");
+        let endif = f.add_block("endif");
+        f.block_mut(b0).insts.push(Inst::br(
+            Cond::Lt,
+            x.into(),
+            Operand::ImmI(0),
+            endif,
+        ));
+        f.block_mut(then).insts.push(Inst::mov(x, Operand::ImmI(1)));
+        f.block_mut(endif).insts.push(Inst::halt());
+        assert!(simplify_cfg(&mut f));
+        // then merged into b0 (side exit stays mid-block); endif survives
+        // (it is a branch target).
+        assert_eq!(f.layout_order().len(), 2);
+        assert_eq!(f.block(b0).insts.len(), 2);
+        assert_eq!(f.block(b0).insts[1].op, Opcode::Mov);
+    }
+
+    #[test]
+    fn removes_unreachable_and_fallthrough_jumps() {
+        let mut f = Function::new("t");
+        let b0 = f.add_block("b0");
+        let b1 = f.add_block("b1");
+        let dead = f.add_block("dead");
+        let b2 = f.add_block("b2");
+        f.block_mut(b0).insts.push(Inst::jump(b1));
+        f.block_mut(b1).insts.push(Inst::jump(b2));
+        f.block_mut(dead).insts.push(Inst::halt());
+        f.block_mut(b2).insts.push(Inst::halt());
+        // Layout: b0, b1, dead, b2. b0's jump targets the next block; b1's
+        // jump skips `dead`.
+        assert!(simplify_cfg(&mut f));
+        // dead removed; jump b0->b1 removed (fallthrough); all merged into
+        // a single block ending in halt.
+        assert_eq!(f.layout_order().len(), 1);
+        let entry = f.layout_order()[0];
+        assert_eq!(f.block(entry).insts.last().unwrap().op, Opcode::Halt);
+    }
+
+    #[test]
+    fn does_not_merge_branch_targets() {
+        // loop header targeted by backedge must survive.
+        let mut f = Function::new("t");
+        let i = f.new_reg(RegClass::Int);
+        let b0 = f.add_block("b0");
+        let header = f.add_block("header");
+        let exit = f.add_block("exit");
+        let _ = b0;
+        f.block_mut(header)
+            .insts
+            .push(Inst::alu(Opcode::Add, i, i.into(), Operand::ImmI(1)));
+        f.block_mut(header).insts.push(Inst::br(
+            Cond::Lt,
+            i.into(),
+            Operand::ImmI(4),
+            header,
+        ));
+        f.block_mut(exit).insts.push(Inst::halt());
+        simplify_cfg(&mut f);
+        assert!(f.layout_pos(header).is_some());
+        assert_eq!(f.block(header).insts.len(), 2);
+    }
+}

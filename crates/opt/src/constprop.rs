@@ -1,0 +1,399 @@
+//! Global constant propagation, constant folding and algebraic
+//! simplification.
+//!
+//! An iterative forward dataflow over the CFG with the usual three-level
+//! lattice (⊤ unknown / constant / ⊥ varying) per register, followed by a
+//! rewrite walk that substitutes constants into operands, folds fully
+//! constant computations to `mov`s, applies algebraic identities
+//! (`x+0`, `x*1`, `x*0`, ...), and resolves conditional branches whose
+//! comparison is decided at compile time (a taken branch becomes `jump`,
+//! a never-taken branch becomes `nop` for DCE to collect).
+
+use ilpc_ir::semantics::{eval_int, eval_flt};
+use ilpc_ir::{Function, Inst, Opcode, Operand, Reg, RegClass};
+
+/// Constant lattice value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Lat {
+    /// No definition seen yet on any path.
+    Top,
+    /// Known integer constant.
+    CI(i64),
+    /// Known float constant (bit-exact meet).
+    CF(f64),
+    /// Varying.
+    Bot,
+}
+
+impl Lat {
+    fn meet(self, other: Lat) -> Lat {
+        match (self, other) {
+            (Lat::Top, x) | (x, Lat::Top) => x,
+            (Lat::CI(a), Lat::CI(b)) if a == b => Lat::CI(a),
+            (Lat::CF(a), Lat::CF(b)) if a.to_bits() == b.to_bits() => Lat::CF(a),
+            _ => Lat::Bot,
+        }
+    }
+
+    fn as_operand(self) -> Option<Operand> {
+        match self {
+            Lat::CI(v) => Some(Operand::ImmI(v)),
+            Lat::CF(v) => Some(Operand::ImmF(v)),
+            _ => None,
+        }
+    }
+}
+
+/// Per-register environment (dense per class).
+#[derive(Debug, Clone, PartialEq)]
+struct Env {
+    vals: [Vec<Lat>; 2],
+}
+
+impl Env {
+    fn top(f: &Function) -> Env {
+        Env {
+            vals: [
+                vec![Lat::Top; f.vreg_count(RegClass::Int) as usize],
+                vec![Lat::Top; f.vreg_count(RegClass::Flt) as usize],
+            ],
+        }
+    }
+
+    fn get(&self, r: Reg) -> Lat {
+        self.vals[r.class.index()][r.id as usize]
+    }
+
+    fn set(&mut self, r: Reg, v: Lat) {
+        self.vals[r.class.index()][r.id as usize] = v;
+    }
+
+    fn meet_with(&mut self, other: &Env) -> bool {
+        let mut changed = false;
+        for c in 0..2 {
+            for (d, s) in self.vals[c].iter_mut().zip(&other.vals[c]) {
+                let m = d.meet(*s);
+                changed |= m != *d;
+                *d = m;
+            }
+        }
+        changed
+    }
+}
+
+fn operand_lat(env: &Env, o: Operand) -> Lat {
+    match o {
+        Operand::Reg(r) => env.get(r),
+        Operand::ImmI(v) => Lat::CI(v),
+        Operand::ImmF(v) => Lat::CF(v),
+        // Symbol addresses are link-time constants; treat as varying so we
+        // never fold address arithmetic into absolute numbers.
+        Operand::Sym(_) => Lat::Bot,
+        Operand::None => Lat::Bot,
+    }
+}
+
+/// Abstract transfer of one instruction over the environment.
+fn transfer(env: &mut Env, inst: &Inst) {
+    let Some(d) = inst.def() else { return };
+    let val = match inst.op {
+        Opcode::Mov => operand_lat(env, inst.src[0]),
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor
+        | Opcode::Shl
+        | Opcode::Shr
+        | Opcode::Mul
+        | Opcode::Div
+        | Opcode::Rem => {
+            match (operand_lat(env, inst.src[0]), operand_lat(env, inst.src[1])) {
+                (Lat::CI(a), Lat::CI(b)) => Lat::CI(eval_int(inst.op, a, b)),
+                (Lat::Top, _) | (_, Lat::Top) => Lat::Top,
+                _ => Lat::Bot,
+            }
+        }
+        Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv => {
+            match (operand_lat(env, inst.src[0]), operand_lat(env, inst.src[1])) {
+                (Lat::CF(a), Lat::CF(b)) => Lat::CF(eval_flt(inst.op, a, b)),
+                (Lat::Top, _) | (_, Lat::Top) => Lat::Top,
+                _ => Lat::Bot,
+            }
+        }
+        Opcode::CvtIF => match operand_lat(env, inst.src[0]) {
+            Lat::CI(a) => Lat::CF(a as f64),
+            Lat::Top => Lat::Top,
+            _ => Lat::Bot,
+        },
+        Opcode::CvtFI => match operand_lat(env, inst.src[0]) {
+            Lat::CF(a) => Lat::CI(a as i64),
+            Lat::Top => Lat::Top,
+            _ => Lat::Bot,
+        },
+        _ => Lat::Bot, // loads etc.
+    };
+    env.set(d, val);
+}
+
+/// Rewrite one instruction given the environment *before* it; returns true
+/// if anything changed. Also advances the environment.
+fn rewrite(env: &mut Env, inst: &mut Inst) -> bool {
+    let mut changed = false;
+
+    // Substitute known-constant register operands (branch operands too).
+    for s in &mut inst.src {
+        if let Operand::Reg(r) = *s {
+            if let Some(c) = env.get(r).as_operand() {
+                *s = c;
+                changed = true;
+            }
+        }
+    }
+
+    // Resolve decided conditional branches.
+    if let Opcode::Br(c) = inst.op {
+        let decided = match (inst.src[0], inst.src[1]) {
+            (Operand::ImmI(a), Operand::ImmI(b)) => Some(c.eval(a, b)),
+            (Operand::ImmF(a), Operand::ImmF(b)) => Some(c.eval(a, b)),
+            _ => None,
+        };
+        match decided {
+            Some(true) => {
+                *inst = Inst::jump(inst.target.unwrap());
+                return true;
+            }
+            Some(false) => {
+                *inst = Inst::new(Opcode::Nop);
+                return true;
+            }
+            None => {}
+        }
+    }
+
+    // Fold fully-constant computations and algebraic identities.
+    if let Some(d) = inst.def() {
+        let folded: Option<Inst> = match inst.op {
+            Opcode::Add | Opcode::Sub | Opcode::Xor | Opcode::Or | Opcode::Shl
+            | Opcode::Shr => match (inst.src[0], inst.src[1]) {
+                (Operand::ImmI(a), Operand::ImmI(b)) => {
+                    Some(Inst::mov(d, Operand::ImmI(eval_int(inst.op, a, b))))
+                }
+                (x, Operand::ImmI(0)) => Some(Inst::mov(d, x)),
+                (Operand::ImmI(0), x)
+                    if matches!(inst.op, Opcode::Add | Opcode::Or | Opcode::Xor) =>
+                {
+                    Some(Inst::mov(d, x))
+                }
+                _ => None,
+            },
+            Opcode::And => match (inst.src[0], inst.src[1]) {
+                (Operand::ImmI(a), Operand::ImmI(b)) => {
+                    Some(Inst::mov(d, Operand::ImmI(a & b)))
+                }
+                (_, Operand::ImmI(0)) | (Operand::ImmI(0), _) => {
+                    Some(Inst::mov(d, Operand::ImmI(0)))
+                }
+                _ => None,
+            },
+            Opcode::Mul => match (inst.src[0], inst.src[1]) {
+                (Operand::ImmI(a), Operand::ImmI(b)) => {
+                    Some(Inst::mov(d, Operand::ImmI(a.wrapping_mul(b))))
+                }
+                (_, Operand::ImmI(0)) | (Operand::ImmI(0), _) => {
+                    Some(Inst::mov(d, Operand::ImmI(0)))
+                }
+                (x, Operand::ImmI(1)) | (Operand::ImmI(1), x) => {
+                    Some(Inst::mov(d, x))
+                }
+                _ => None,
+            },
+            Opcode::Div | Opcode::Rem => match (inst.src[0], inst.src[1]) {
+                (Operand::ImmI(a), Operand::ImmI(b)) => {
+                    Some(Inst::mov(d, Operand::ImmI(eval_int(inst.op, a, b))))
+                }
+                (x, Operand::ImmI(1)) if inst.op == Opcode::Div => {
+                    Some(Inst::mov(d, x))
+                }
+                _ => None,
+            },
+            Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv => {
+                match (inst.src[0], inst.src[1]) {
+                    (Operand::ImmF(a), Operand::ImmF(b)) => {
+                        Some(Inst::mov(d, Operand::ImmF(eval_flt(inst.op, a, b))))
+                    }
+                    // `x*1.0`, `x/1.0`, `x+0.0`, `x-0.0` are exact in IEEE
+                    // (up to -0.0 + 0.0 cases, which compare equal anyway).
+                    (x, Operand::ImmF(o))
+                        if o == 1.0
+                            && matches!(inst.op, Opcode::FMul | Opcode::FDiv) =>
+                    {
+                        Some(Inst::mov(d, x))
+                    }
+                    _ => None,
+                }
+            }
+            Opcode::CvtIF => match inst.src[0] {
+                Operand::ImmI(a) => Some(Inst::mov(d, Operand::ImmF(a as f64))),
+                _ => None,
+            },
+            Opcode::CvtFI => match inst.src[0] {
+                Operand::ImmF(a) => Some(Inst::mov(d, Operand::ImmI(a as i64))),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(new) = folded {
+            if *inst != new {
+                *inst = new;
+                changed = true;
+            }
+        }
+    }
+
+    transfer(env, inst);
+    changed
+}
+
+/// Run global constant propagation + folding; returns true if `f` changed.
+pub fn const_prop(f: &mut Function) -> bool {
+    // Dataflow to fixpoint.
+    let n = f.num_blocks();
+    let mut ins: Vec<Env> = (0..n).map(|_| Env::top(f)).collect();
+    let preds = f.preds();
+    let mut changed = true;
+    // Entry has no predecessors: registers start as Top there (lowering
+    // initializes every scalar before use; temps are defined before use).
+    while changed {
+        changed = false;
+        for &bid in f.layout_order() {
+            let i = bid.0 as usize;
+            let mut env = ins[i].clone();
+            let mut any_pred = false;
+            for p in &preds[i] {
+                // OUT(p) recomputed on the fly.
+                let mut out = ins[p.0 as usize].clone();
+                for inst in &f.block(*p).insts {
+                    transfer(&mut out, inst);
+                }
+                if any_pred {
+                    env.meet_with(&out);
+                } else {
+                    env = out;
+                    any_pred = true;
+                }
+            }
+            if !any_pred {
+                env = Env::top(f);
+            }
+            if env != ins[i] {
+                ins[i] = env;
+                changed = true;
+            }
+        }
+    }
+
+    // Rewrite walk.
+    let mut any = false;
+    for &bid in f.layout_order().to_vec().iter() {
+        let mut env = ins[bid.0 as usize].clone();
+        for inst in &mut f.block_mut(bid).insts {
+            any |= rewrite(&mut env, inst);
+        }
+    }
+    any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::{Cond, Function, Module};
+
+    #[test]
+    fn propagates_across_blocks() {
+        let mut f = Function::new("t");
+        let n = f.new_reg(RegClass::Int);
+        let i = f.new_reg(RegClass::Int);
+        let b0 = f.add_block("b0");
+        let b1 = f.add_block("b1");
+        f.block_mut(b0).insts.push(Inst::mov(n, Operand::ImmI(100)));
+        f.block_mut(b1)
+            .insts
+            .push(Inst::alu(Opcode::Add, i, n.into(), Operand::ImmI(1)));
+        f.block_mut(b1).insts.push(Inst::halt());
+        assert!(const_prop(&mut f));
+        assert_eq!(f.block(b1).insts[0], Inst::mov(i, Operand::ImmI(101)));
+    }
+
+    #[test]
+    fn resolves_decided_branches() {
+        let mut f = Function::new("t");
+        let b0 = f.add_block("b0");
+        let b1 = f.add_block("b1");
+        f.block_mut(b0).insts.push(Inst::br(
+            Cond::Gt,
+            Operand::ImmI(1),
+            Operand::ImmI(100),
+            b1,
+        ));
+        f.block_mut(b1).insts.push(Inst::halt());
+        assert!(const_prop(&mut f));
+        assert_eq!(f.block(b0).insts[0].op, Opcode::Nop);
+
+        let mut f2 = Function::new("t2");
+        let c0 = f2.add_block("b0");
+        let c1 = f2.add_block("b1");
+        f2.block_mut(c0).insts.push(Inst::br(
+            Cond::Lt,
+            Operand::ImmI(1),
+            Operand::ImmI(100),
+            c1,
+        ));
+        f2.block_mut(c1).insts.push(Inst::halt());
+        assert!(const_prop(&mut f2));
+        assert_eq!(f2.block(c0).insts[0].op, Opcode::Jump);
+    }
+
+    #[test]
+    fn loop_carried_values_are_bottom() {
+        // i = 0; loop: i = i + 1; blt i, 10 -> loop
+        let mut f = Function::new("t");
+        let i = f.new_reg(RegClass::Int);
+        let b0 = f.add_block("b0");
+        let b1 = f.add_block("b1");
+        let b2 = f.add_block("b2");
+        f.block_mut(b0).insts.push(Inst::mov(i, Operand::ImmI(0)));
+        f.block_mut(b1)
+            .insts
+            .push(Inst::alu(Opcode::Add, i, i.into(), Operand::ImmI(1)));
+        f.block_mut(b1)
+            .insts
+            .push(Inst::br(Cond::Lt, i.into(), Operand::ImmI(10), b1));
+        f.block_mut(b2).insts.push(Inst::halt());
+        const_prop(&mut f);
+        // The increment must NOT be folded to a constant.
+        assert_eq!(f.block(b1).insts[0].op, Opcode::Add);
+        assert_eq!(f.block(b1).insts[0].src[0], Operand::Reg(i));
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        let mut f = Function::new("t");
+        let a = f.new_reg(RegClass::Int);
+        let b = f.new_reg(RegClass::Int);
+        let c = f.new_reg(RegClass::Int);
+        let b0 = f.add_block("b0");
+        // a is unknown (load-like): simulate with a self-add so it stays Bot.
+        let m = Module::new("x");
+        let _ = m;
+        f.block_mut(b0).insts.extend([
+            Inst::alu(Opcode::Add, a, a.into(), a.into()), // keeps a Top.. then Bot? (Top+Top=Top)
+            Inst::alu(Opcode::Mul, b, a.into(), Operand::ImmI(1)),
+            Inst::alu(Opcode::Add, c, b.into(), Operand::ImmI(0)),
+            Inst::halt(),
+        ]);
+        const_prop(&mut f);
+        assert_eq!(f.block(b0).insts[1].op, Opcode::Mov);
+        assert_eq!(f.block(b0).insts[2].op, Opcode::Mov);
+    }
+}

@@ -1,0 +1,205 @@
+//! Local copy propagation and copy coalescing ("operation folding").
+//!
+//! * **Copy propagation** rewrites uses of a register that currently holds a
+//!   copy of another operand to use the source directly, within one block.
+//! * **Copy coalescing** removes the `tmp = op ...; dst = mov tmp` pattern
+//!   the naive lowering produces for every assignment, by making the
+//!   operation write `dst` directly when that is safe. This is the pass the
+//!   paper's conventional level calls "operation folding".
+
+use ilpc_analysis::DefUse;
+use ilpc_ir::{Function, Opcode, Operand, Reg};
+use std::collections::HashMap;
+
+/// Local copy propagation; returns true if anything changed.
+pub fn copy_prop(f: &mut Function) -> bool {
+    let mut changed = false;
+    for &bid in f.layout_order().to_vec().iter() {
+        // reg -> operand it currently equals.
+        let mut copies: HashMap<Reg, Operand> = HashMap::new();
+        for inst in &mut f.block_mut(bid).insts {
+            // Substitute uses.
+            for s in &mut inst.src {
+                if let Operand::Reg(r) = *s {
+                    if let Some(&src) = copies.get(&r) {
+                        *s = src;
+                        changed = true;
+                    }
+                }
+            }
+            // Kill mappings invalidated by this def.
+            if let Some(d) = inst.def() {
+                copies.remove(&d);
+                copies.retain(|_, v| v.reg() != Some(d));
+                // Record new copy.
+                if inst.op == Opcode::Mov {
+                    match inst.src[0] {
+                        Operand::Reg(r) if r != d => {
+                            copies.insert(d, Operand::Reg(r));
+                        }
+                        imm @ (Operand::ImmI(_) | Operand::ImmF(_) | Operand::Sym(_)) => {
+                            copies.insert(d, imm);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Copy coalescing; returns true if anything changed.
+///
+/// For `j: mov d, t` where `t` was defined earlier in the same block by a
+/// value-producing instruction `i`, `t` has exactly one use in the whole
+/// function (this mov) and exactly one definition, and `d` is neither
+/// defined nor used in `(i, j)`, rewrite `i` to define `d` and delete `j`.
+pub fn coalesce_copies(f: &mut Function) -> bool {
+    let du = DefUse::compute(f);
+    let mut changed = false;
+    for &bid in f.layout_order().to_vec().iter() {
+        let insts = &mut f.block_mut(bid).insts;
+        let mut j = 0;
+        while j < insts.len() {
+            let (do_it, t, d, i_idx) = {
+                let inst = &insts[j];
+                if inst.op != Opcode::Mov {
+                    j += 1;
+                    continue;
+                }
+                let (Some(d), Operand::Reg(t)) = (inst.def(), inst.src[0]) else {
+                    j += 1;
+                    continue;
+                };
+                if d == t || du.num_uses(t) != 1 || du.num_defs(t) != 1 {
+                    j += 1;
+                    continue;
+                }
+                // Find the defining instruction of t earlier in this block.
+                let Some(i_idx) = (0..j).rev().find(|&i| insts[i].def() == Some(t))
+                else {
+                    j += 1;
+                    continue;
+                };
+                // The producer must be a value-producing op (not a branch
+                // artifact) — any op with a dst qualifies.
+                // Check d is not used or defined strictly between i and j.
+                let clean = insts[i_idx + 1..j]
+                    .iter()
+                    .all(|x| x.def() != Some(d) && x.uses().all(|u| u != d));
+                (clean, t, d, i_idx)
+            };
+            if do_it {
+                let _ = t;
+                insts[i_idx].dst = Some(d);
+                insts.remove(j);
+                changed = true;
+                // Do not advance j: the next instruction shifted into place.
+            } else {
+                j += 1;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::inst::Inst;
+    use ilpc_ir::RegClass;
+
+    #[test]
+    fn propagates_copies_locally() {
+        let mut f = Function::new("t");
+        let a = f.new_reg(RegClass::Int);
+        let b = f.new_reg(RegClass::Int);
+        let c = f.new_reg(RegClass::Int);
+        let blk = f.add_block("b");
+        f.block_mut(blk).insts.extend([
+            Inst::mov(b, a.into()),
+            Inst::alu(Opcode::Add, c, b.into(), b.into()),
+            Inst::halt(),
+        ]);
+        assert!(copy_prop(&mut f));
+        assert_eq!(f.block(blk).insts[1].src[0], Operand::Reg(a));
+        assert_eq!(f.block(blk).insts[1].src[1], Operand::Reg(a));
+    }
+
+    #[test]
+    fn copy_map_killed_by_redef() {
+        let mut f = Function::new("t");
+        let a = f.new_reg(RegClass::Int);
+        let b = f.new_reg(RegClass::Int);
+        let c = f.new_reg(RegClass::Int);
+        let blk = f.add_block("b");
+        f.block_mut(blk).insts.extend([
+            Inst::mov(b, a.into()),
+            Inst::alu(Opcode::Add, a, a.into(), Operand::ImmI(1)), // kills a->...
+            Inst::alu(Opcode::Add, c, b.into(), Operand::ImmI(0)),
+            Inst::halt(),
+        ]);
+        copy_prop(&mut f);
+        // b must NOT have been replaced by a (a changed in between).
+        assert_eq!(f.block(blk).insts[2].src[0], Operand::Reg(b));
+    }
+
+    #[test]
+    fn coalesces_lowering_pattern() {
+        // t = add a, 1 ; s = mov t   =>   s = add a, 1
+        let mut f = Function::new("t");
+        let a = f.new_reg(RegClass::Int);
+        let t = f.new_reg(RegClass::Int);
+        let s = f.new_reg(RegClass::Int);
+        let blk = f.add_block("b");
+        f.block_mut(blk).insts.extend([
+            Inst::alu(Opcode::Add, t, a.into(), Operand::ImmI(1)),
+            Inst::mov(s, t.into()),
+            Inst::halt(),
+        ]);
+        assert!(coalesce_copies(&mut f));
+        let insts = &f.block(blk).insts;
+        assert_eq!(insts.len(), 2);
+        assert_eq!(insts[0].def(), Some(s));
+        assert_eq!(insts[0].op, Opcode::Add);
+    }
+
+    #[test]
+    fn coalesce_respects_accumulator_reads() {
+        // t = fadd s, x ; s = mov t  => s = fadd s, x  (the self-read is fine)
+        let mut f = Function::new("t");
+        let s = f.new_reg(RegClass::Flt);
+        let x = f.new_reg(RegClass::Flt);
+        let t = f.new_reg(RegClass::Flt);
+        let blk = f.add_block("b");
+        f.block_mut(blk).insts.extend([
+            Inst::alu(Opcode::FAdd, t, s.into(), x.into()),
+            Inst::mov(s, t.into()),
+            Inst::halt(),
+        ]);
+        assert!(coalesce_copies(&mut f));
+        let insts = &f.block(blk).insts;
+        assert_eq!(insts[0].def(), Some(s));
+        assert_eq!(insts[0].src[0], Operand::Reg(s));
+    }
+
+    #[test]
+    fn no_coalesce_when_dst_read_between() {
+        // t = add a,1 ; b = add d,2 ; d = mov t  — d read between, keep.
+        let mut f = Function::new("t");
+        let a = f.new_reg(RegClass::Int);
+        let d = f.new_reg(RegClass::Int);
+        let b = f.new_reg(RegClass::Int);
+        let t = f.new_reg(RegClass::Int);
+        let blk = f.add_block("b");
+        f.block_mut(blk).insts.extend([
+            Inst::alu(Opcode::Add, t, a.into(), Operand::ImmI(1)),
+            Inst::alu(Opcode::Add, b, d.into(), Operand::ImmI(2)),
+            Inst::mov(d, t.into()),
+            Inst::halt(),
+        ]);
+        assert!(!coalesce_copies(&mut f));
+        assert_eq!(f.block(blk).insts.len(), 4);
+    }
+}

@@ -1,0 +1,215 @@
+//! Local common subexpression elimination and redundant load elimination.
+//!
+//! Within a block, value-producing instructions are keyed by
+//! `(opcode, operands)`; a later instruction computing an already-available
+//! value becomes a `mov` from the earlier result. Loads participate too
+//! (keyed additionally by their memory tag) and are invalidated by
+//! may-aliasing stores — this is the paper's "redundant memory access
+//! elimination".
+
+use ilpc_ir::{Function, Inst, MemLoc, Opcode, Operand, Reg};
+use std::collections::HashMap;
+
+/// Hashable operand image (floats by bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum OpKey {
+    None,
+    Reg(Reg),
+    ImmI(i64),
+    ImmF(u64),
+    Sym(u32),
+}
+
+impl From<Operand> for OpKey {
+    fn from(o: Operand) -> OpKey {
+        match o {
+            Operand::None => OpKey::None,
+            Operand::Reg(r) => OpKey::Reg(r),
+            Operand::ImmI(v) => OpKey::ImmI(v),
+            Operand::ImmF(v) => OpKey::ImmF(v.to_bits()),
+            Operand::Sym(s) => OpKey::Sym(s.0),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ExprKey {
+    op: Opcode,
+    a: OpKey,
+    b: OpKey,
+    mem: Option<(u32, Option<(i64, i64)>, u64)>,
+    ext: i64,
+}
+
+fn key_of(inst: &Inst) -> Option<ExprKey> {
+    match inst.op {
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor
+        | Opcode::Shl
+        | Opcode::Shr
+        | Opcode::Mul
+        | Opcode::Div
+        | Opcode::Rem
+        | Opcode::FAdd
+        | Opcode::FSub
+        | Opcode::FMul
+        | Opcode::FDiv
+        | Opcode::CvtIF
+        | Opcode::CvtFI => {
+            let (mut a, mut b) = (OpKey::from(inst.src[0]), OpKey::from(inst.src[1]));
+            // Canonicalize commutative operand order.
+            if inst.op.is_commutative() && b < a {
+                std::mem::swap(&mut a, &mut b);
+            }
+            Some(ExprKey { op: inst.op, a, b, mem: None, ext: 0 })
+        }
+        Opcode::Load => {
+            let m = inst.mem?;
+            Some(ExprKey {
+                op: Opcode::Load,
+                a: OpKey::from(inst.src[0]),
+                b: OpKey::from(inst.src[1]),
+                mem: Some((m.sym.0, m.lin, m.outer)),
+                ext: inst.ext,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Run local CSE over every block; returns true if anything changed.
+pub fn cse(f: &mut Function) -> bool {
+    let mut changed = false;
+    for &bid in f.layout_order().to_vec().iter() {
+        let mut avail: HashMap<ExprKey, Reg> = HashMap::new();
+        let insts = &mut f.block_mut(bid).insts;
+        for idx in 0..insts.len() {
+            // Replace if available.
+            if let Some(k) = key_of(&insts[idx]) {
+                if let Some(&prev) = avail.get(&k) {
+                    let d = insts[idx].def().unwrap();
+                    if d != prev {
+                        insts[idx] = Inst::mov(d, prev.into());
+                        changed = true;
+                    }
+                }
+            }
+            let inst = insts[idx].clone();
+            // Invalidate on defs: entries keyed by the defined register or
+            // whose result register is redefined.
+            if let Some(d) = inst.def() {
+                avail.retain(|k, v| {
+                    *v != d
+                        && k.a != OpKey::Reg(d)
+                        && k.b != OpKey::Reg(d)
+                });
+            }
+            // Invalidate loads clobbered by aliasing stores.
+            if inst.op == Opcode::Store {
+                let sm = inst.mem.expect("store without tag");
+                avail.retain(|k, _| match k.mem {
+                    Some((sym, lin, outer)) => {
+                        let lm = MemLoc {
+                            sym: ilpc_ir::SymId(sym),
+                            lin,
+                            outer,
+                        };
+                        !lm.may_alias(&sm)
+                    }
+                    None => true,
+                });
+            }
+            // Record availability after invalidation (so `r = r op x`
+            // doesn't advertise its own stale key).
+            if let (Some(k), Some(d)) = (key_of(&inst), inst.def()) {
+                let self_referential = k.a == OpKey::Reg(d) || k.b == OpKey::Reg(d);
+                if !self_referential {
+                    avail.insert(k, d);
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::inst::MemLoc;
+    use ilpc_ir::{RegClass, SymId};
+
+    #[test]
+    fn reuses_duplicate_address_arithmetic() {
+        let mut f = Function::new("t");
+        let i = f.new_reg(RegClass::Int);
+        let t1 = f.new_reg(RegClass::Int);
+        let t2 = f.new_reg(RegClass::Int);
+        let blk = f.add_block("b");
+        f.block_mut(blk).insts.extend([
+            Inst::alu(Opcode::Mul, t1, i.into(), Operand::ImmI(8)),
+            Inst::alu(Opcode::Mul, t2, i.into(), Operand::ImmI(8)),
+            Inst::halt(),
+        ]);
+        assert!(cse(&mut f));
+        assert_eq!(f.block(blk).insts[1], Inst::mov(t2, t1.into()));
+    }
+
+    #[test]
+    fn commutative_canonicalization() {
+        let mut f = Function::new("t");
+        let a = f.new_reg(RegClass::Int);
+        let b = f.new_reg(RegClass::Int);
+        let t1 = f.new_reg(RegClass::Int);
+        let t2 = f.new_reg(RegClass::Int);
+        let blk = f.add_block("b");
+        f.block_mut(blk).insts.extend([
+            Inst::alu(Opcode::Add, t1, a.into(), b.into()),
+            Inst::alu(Opcode::Add, t2, b.into(), a.into()),
+            Inst::halt(),
+        ]);
+        assert!(cse(&mut f));
+        assert_eq!(f.block(blk).insts[1].op, Opcode::Mov);
+    }
+
+    #[test]
+    fn redundant_load_elimination_respects_stores() {
+        let mut f = Function::new("t");
+        let a = SymId(0);
+        let r1 = f.new_reg(RegClass::Flt);
+        let r2 = f.new_reg(RegClass::Flt);
+        let r3 = f.new_reg(RegClass::Flt);
+        let blk = f.add_block("b");
+        let tag = MemLoc::affine(a, 1, 0);
+        f.block_mut(blk).insts.extend([
+            Inst::load(r1, Operand::Sym(a), Operand::ImmI(0), tag),
+            Inst::load(r2, Operand::Sym(a), Operand::ImmI(0), tag), // redundant
+            Inst::store(Operand::Sym(a), Operand::ImmI(0), Operand::ImmF(1.0), tag),
+            Inst::load(r3, Operand::Sym(a), Operand::ImmI(0), tag), // NOT redundant
+            Inst::halt(),
+        ]);
+        assert!(cse(&mut f));
+        let insts = &f.block(blk).insts;
+        assert_eq!(insts[1], Inst::mov(r2, r1.into()));
+        assert_eq!(insts[3].op, Opcode::Load);
+    }
+
+    #[test]
+    fn invalidated_by_operand_redef() {
+        let mut f = Function::new("t");
+        let i = f.new_reg(RegClass::Int);
+        let t1 = f.new_reg(RegClass::Int);
+        let t2 = f.new_reg(RegClass::Int);
+        let blk = f.add_block("b");
+        f.block_mut(blk).insts.extend([
+            Inst::alu(Opcode::Mul, t1, i.into(), Operand::ImmI(8)),
+            Inst::alu(Opcode::Add, i, i.into(), Operand::ImmI(1)),
+            Inst::alu(Opcode::Mul, t2, i.into(), Operand::ImmI(8)),
+            Inst::halt(),
+        ]);
+        assert!(!cse(&mut f));
+        assert_eq!(f.block(blk).insts[2].op, Opcode::Mul);
+    }
+}

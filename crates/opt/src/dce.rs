@@ -1,0 +1,81 @@
+//! Dead code elimination.
+//!
+//! Iteratively removes instructions whose results are never used and which
+//! have no side effects (stores, control transfers). `nop`s left behind by
+//! other passes are collected here too.
+
+use ilpc_analysis::DefUse;
+use ilpc_ir::{Function, Opcode};
+
+/// Remove dead instructions; returns true if anything was removed.
+pub fn dce(f: &mut Function) -> bool {
+    let mut any = false;
+    loop {
+        let du = DefUse::compute(f);
+        let mut removed = false;
+        for &bid in f.layout_order().to_vec().iter() {
+            let insts = &mut f.block_mut(bid).insts;
+            let before = insts.len();
+            insts.retain(|i| {
+                if i.op == Opcode::Nop {
+                    return false;
+                }
+                if i.has_side_effects() {
+                    return true;
+                }
+                match i.def() {
+                    Some(d) => du.num_uses(d) > 0,
+                    None => true,
+                }
+            });
+            removed |= insts.len() != before;
+        }
+        if !removed {
+            break;
+        }
+        any = true;
+    }
+    any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::inst::Inst;
+    use ilpc_ir::{Operand, RegClass};
+
+    #[test]
+    fn removes_transitively_dead_chains() {
+        let mut f = Function::new("t");
+        let a = f.new_reg(RegClass::Int);
+        let b = f.new_reg(RegClass::Int);
+        let c = f.new_reg(RegClass::Int);
+        let blk = f.add_block("b");
+        f.block_mut(blk).insts.extend([
+            Inst::mov(a, Operand::ImmI(1)),
+            Inst::alu(Opcode::Add, b, a.into(), Operand::ImmI(2)), // used only by dead c
+            Inst::alu(Opcode::Add, c, b.into(), Operand::ImmI(3)), // dead
+            Inst::new(Opcode::Nop),
+            Inst::halt(),
+        ]);
+        assert!(dce(&mut f));
+        assert_eq!(f.block(blk).insts.len(), 1);
+        assert_eq!(f.block(blk).insts[0].op, Opcode::Halt);
+    }
+
+    #[test]
+    fn keeps_stores_and_their_inputs() {
+        let mut f = Function::new("t");
+        let a = f.new_reg(RegClass::Flt);
+        let blk = f.add_block("b");
+        let sym = ilpc_ir::SymId(0);
+        let tag = ilpc_ir::MemLoc::affine(sym, 0, 0);
+        f.block_mut(blk).insts.extend([
+            Inst::mov(a, Operand::ImmF(1.0)),
+            Inst::store(Operand::Sym(sym), Operand::ImmI(0), a.into(), tag),
+            Inst::halt(),
+        ]);
+        assert!(!dce(&mut f));
+        assert_eq!(f.block(blk).insts.len(), 3);
+    }
+}

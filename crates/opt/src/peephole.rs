@@ -1,0 +1,157 @@
+//! Peephole simplifications.
+//!
+//! Currently one rewrite: **constant-add chain folding** — the classical
+//! "induction variable elimination" effect the paper relies on after
+//! unrolling. A chain `s = x + #c1; ...; d = s + #c2` where the
+//! intermediate `s` has no other use collapses to `d = x + #(c1+c2)`
+//! (likewise for `sub` mixed in). This is what turns the three unrolled
+//! loop-counter increments of the paper's Figure 5c into the single
+//! `r1 = r1 + 3`.
+
+use ilpc_analysis::DefUse;
+use ilpc_ir::{Function, Opcode, Operand};
+
+fn add_like(op: Opcode) -> Option<i64> {
+    // Multiplier applied to the immediate: add -> +1, sub -> -1.
+    match op {
+        Opcode::Add => Some(1),
+        Opcode::Sub => Some(-1),
+        _ => None,
+    }
+}
+
+/// Fold constant-add chains; returns true if anything changed.
+pub fn fold_add_chains(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let du = DefUse::compute(f);
+        let mut round = false;
+        for &bid in f.layout_order().to_vec().iter() {
+            let insts = &mut f.block_mut(bid).insts;
+            for j in 0..insts.len() {
+                let Some(sign_j) = add_like(insts[j].op) else { continue };
+                let Operand::ImmI(c2) = insts[j].src[1] else { continue };
+                let Some(s) = insts[j].src[0].reg() else { continue };
+                // Find the most recent def of s in this block before j.
+                let Some(i) = (0..j).rev().find(|&i| insts[i].def() == Some(s))
+                else {
+                    continue;
+                };
+                let Some(sign_i) = add_like(insts[i].op) else { continue };
+                let Operand::ImmI(c1) = insts[i].src[1] else { continue };
+                let Some(x) = insts[i].src[0].reg() else { continue };
+                // s must be used exactly once in the whole function (by j),
+                // and defined exactly once, so deleting i later is safe.
+                if du.num_uses(s) != 1 || du.num_defs(s) != 1 {
+                    continue;
+                }
+                // x must not be redefined strictly between i and j (j's own
+                // def of x is fine: operands are read before the write).
+                if insts[i + 1..j].iter().any(|k| k.def() == Some(x)) {
+                    continue;
+                }
+                // d = x + (sign_i*c1 + sign_j*c2), expressed as an Add.
+                let total = sign_i
+                    .wrapping_mul(c1)
+                    .wrapping_add(sign_j.wrapping_mul(c2));
+                insts[j].op = Opcode::Add;
+                insts[j].src[0] = Operand::Reg(x);
+                insts[j].src[1] = Operand::ImmI(total);
+                round = true;
+            }
+        }
+        if !round {
+            break;
+        }
+        changed = true;
+        // Dead `s` definitions are collected by the DCE that follows in the
+        // pipeline; run one pass here so chains collapse fully in one call.
+        crate::dce::dce(f);
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::inst::Inst;
+    use ilpc_ir::{Reg, RegClass};
+
+    #[test]
+    fn collapses_unrolled_counter_chain() {
+        // r1' = r1 + 1 ; r1'' = r1' + 1 ; r1 = r1'' + 1  (no other uses)
+        let mut f = Function::new("t");
+        let r1 = f.new_reg(RegClass::Int);
+        let a = f.new_reg(RegClass::Int);
+        let b = f.new_reg(RegClass::Int);
+        let blk = f.add_block("b");
+        f.block_mut(blk).insts.extend([
+            Inst::alu(Opcode::Add, a, r1.into(), Operand::ImmI(1)),
+            Inst::alu(Opcode::Add, b, a.into(), Operand::ImmI(1)),
+            Inst::alu(Opcode::Add, r1, b.into(), Operand::ImmI(1)),
+            // keep r1 observably live
+            Inst::store(
+                Operand::Sym(ilpc_ir::SymId(0)),
+                Operand::ImmI(0),
+                r1.into(),
+                ilpc_ir::MemLoc::affine(ilpc_ir::SymId(0), 0, 0),
+            ),
+            Inst::halt(),
+        ]);
+        assert!(fold_add_chains(&mut f));
+        let insts = &f.block(blk).insts;
+        assert_eq!(insts.len(), 3); // add, store, halt
+        assert_eq!(insts[0], Inst::alu(Opcode::Add, r1, r1.into(), Operand::ImmI(3)));
+    }
+
+    #[test]
+    fn mixed_add_sub() {
+        let mut f = Function::new("t");
+        let x = f.new_reg(RegClass::Int);
+        let s = f.new_reg(RegClass::Int);
+        let d = f.new_reg(RegClass::Int);
+        let blk = f.add_block("b");
+        f.block_mut(blk).insts.extend([
+            Inst::alu(Opcode::Add, s, x.into(), Operand::ImmI(5)),
+            Inst::alu(Opcode::Sub, d, s.into(), Operand::ImmI(2)),
+            Inst::store(
+                Operand::Sym(ilpc_ir::SymId(0)),
+                Operand::ImmI(0),
+                d.into(),
+                ilpc_ir::MemLoc::affine(ilpc_ir::SymId(0), 0, 0),
+            ),
+            Inst::halt(),
+        ]);
+        assert!(fold_add_chains(&mut f));
+        assert_eq!(
+            f.block(blk).insts[0],
+            Inst::alu(Opcode::Add, d, x.into(), Operand::ImmI(3))
+        );
+    }
+
+    #[test]
+    fn keeps_chain_with_intermediate_uses() {
+        // Unrolled induction chain where the intermediate feeds a load:
+        // must NOT collapse (Figure 1c keeps its per-body increments).
+        let mut f = Function::new("t");
+        let r1 = f.new_reg(RegClass::Int);
+        let a = f.new_reg(RegClass::Int);
+        let v = f.new_reg(RegClass::Flt);
+        let blk = f.add_block("b");
+        let sym = ilpc_ir::SymId(0);
+        f.block_mut(blk).insts.extend([
+            Inst::alu(Opcode::Add, a, r1.into(), Operand::ImmI(1)),
+            Inst::load(v, Operand::Sym(sym), a.into(), ilpc_ir::MemLoc::affine(sym, 1, 0)),
+            Inst::alu(Opcode::Add, r1, a.into(), Operand::ImmI(1)),
+            Inst::store(Operand::Sym(sym), Operand::ImmI(0), v.into(), ilpc_ir::MemLoc::affine(sym, 0, 0)),
+            Inst::store(Operand::Sym(sym), Operand::ImmI(1), r1.into(), ilpc_ir::MemLoc::affine(sym, 0, 1)),
+            Inst::halt(),
+        ]);
+        let snapshot = f.block(blk).insts.clone();
+        // a has two uses -> chain not collapsible. But wait: the store of v
+        // is a float store into an int-tagged region... keep classes clean:
+        let _ = snapshot;
+        assert!(!fold_add_chains(&mut f));
+        assert_eq!(f.block(blk).insts[2].src[0].reg(), Some(a));
+    }
+}

@@ -1,0 +1,205 @@
+//! The conventional ("Conv") optimization pipeline.
+//!
+//! Reproduces the paper's baseline: "a complete set of classical local,
+//! global, and loop transformations, including constant propagation, copy
+//! propagation, common subexpression elimination, constant folding,
+//! operation folding, redundant memory access elimination, dead code
+//! removal, loop invariant code removal, loop induction variable strength
+//! reduction, and loop induction variable elimination."
+
+use crate::{
+    cfg::simplify_cfg,
+    constprop::const_prop,
+    copyprop::{coalesce_copies, copy_prop},
+    cse::cse,
+    dce::dce,
+    ivopts::iv_strength_reduce,
+    licm::{licm, promote_registers},
+    peephole::fold_add_chains,
+};
+use ilpc_ir::Module;
+
+/// One round of the scalar cleanup passes; returns true on change.
+fn cleanup_round(f: &mut ilpc_ir::Function) -> bool {
+    let mut changed = false;
+    changed |= const_prop(f);
+    changed |= coalesce_copies(f);
+    changed |= copy_prop(f);
+    changed |= cse(f);
+    changed |= fold_add_chains(f);
+    changed |= dce(f);
+    changed |= simplify_cfg(f);
+    changed
+}
+
+/// Run cleanup rounds to a (bounded) fixpoint.
+pub fn cleanup(f: &mut ilpc_ir::Function) {
+    for _ in 0..8 {
+        if !cleanup_round(f) {
+            break;
+        }
+    }
+}
+
+/// Apply the full conventional optimization pipeline to `m`.
+pub fn conventional(m: &mut Module) {
+    let f = &mut m.func;
+    cleanup(f);
+    // Loop optimizations, then re-clean (they expose copies and dead code).
+    licm(f);
+    promote_registers(f);
+    cleanup(f);
+    iv_strength_reduce(f);
+    cleanup(f);
+    // A second LICM round catches invariants exposed by strength reduction
+    // (e.g. outer-loop multiplies materialized in inner preheaders).
+    licm(f);
+    cleanup(f);
+    debug_assert!(
+        ilpc_ir::verify::verify_module(m).is_ok(),
+        "conventional pipeline broke the IR: {:?}",
+        ilpc_ir::verify::verify_module(m)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::ast::{Bound, Expr, Index, Program, Stmt};
+    use ilpc_ir::lower::lower;
+    use ilpc_ir::{Opcode, RegClass};
+
+    /// Figure 1a: do j = 1,n : C(j) = A(j)+B(j) with n = 64.
+    fn fig1() -> Program {
+        let mut p = Program::new("fig1");
+        let n = p.int_var("n");
+        let j = p.int_var("j");
+        let a = p.flt_arr("A", 70);
+        let b = p.flt_arr("B", 70);
+        let c = p.flt_arr("C", 70);
+        p.body = vec![
+            Stmt::SetScalar(n, Expr::Ci(64)),
+            Stmt::For {
+                var: j,
+                lo: Bound::Const(1),
+                hi: Bound::Var(n),
+                body: vec![Stmt::SetArr(
+                    c,
+                    Index::var(j),
+                    Expr::add(Expr::at(a, Index::var(j)), Expr::at(b, Index::var(j))),
+                )],
+            },
+        ];
+        p
+    }
+
+    #[test]
+    fn conv_produces_tight_fig1b_loop() {
+        let mut l = lower(&fig1());
+        conventional(&mut l.module);
+        let f = &l.module.func;
+        let forest = ilpc_analysis::LoopForest::compute(f);
+        let inner = forest.inner_loops();
+        assert_eq!(inner.len(), 1);
+        let lp = inner[0];
+        // The paper's Figure 1b loop body: 2 loads, 1 fadd, 1 store,
+        // 1 counter add, 1 branch = 6 instructions in one block.
+        assert_eq!(lp.blocks.len(), 1, "body should be a single block");
+        let body = &f.block(lp.blocks[0]).insts;
+        assert_eq!(
+            body.len(),
+            6,
+            "expected the 6-instruction Figure 1b body, got:\n{}",
+            body.iter().map(|i| format!("  {i}\n")).collect::<String>()
+        );
+        let loads = body.iter().filter(|i| i.op == Opcode::Load).count();
+        let stores = body.iter().filter(|i| i.op == Opcode::Store).count();
+        assert_eq!((loads, stores), (2, 1));
+    }
+
+    #[test]
+    fn conv_strength_reduces_strided_addressing() {
+        // do j: A(4*j) = B(4*j): no multiplies survive in the body.
+        let mut p = Program::new("t");
+        let j = p.int_var("j");
+        let a = p.flt_arr("A", 70);
+        let b = p.flt_arr("B", 70);
+        p.body = vec![Stmt::For {
+            var: j,
+            lo: Bound::Const(0),
+            hi: Bound::Const(15),
+            body: vec![Stmt::SetArr(
+                a,
+                Index::default().plus(j, 4),
+                Expr::at(b, Index::default().plus(j, 4)),
+            )],
+        }];
+        let mut l = lower(&p);
+        conventional(&mut l.module);
+        let f = &l.module.func;
+        let forest = ilpc_analysis::LoopForest::compute(f);
+        for lp in forest.inner_loops() {
+            for &blk in &lp.blocks {
+                for inst in &f.block(blk).insts {
+                    assert_ne!(inst.op, Opcode::Mul, "mul left in loop: {inst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv_is_semantics_preserving_shapewise() {
+        // Structural smoke test; full differential testing lives in the
+        // cross-crate integration suite with the simulator.
+        let mut l = lower(&fig1());
+        let before_syms = l.module.symtab.len();
+        conventional(&mut l.module);
+        assert_eq!(l.module.symtab.len(), before_syms);
+        ilpc_ir::verify::verify_module(&l.module).unwrap();
+        // The function still ends with halt.
+        let f = &l.module.func;
+        let last = *f.layout_order().last().unwrap();
+        assert_eq!(f.block(last).insts.last().unwrap().op, Opcode::Halt);
+    }
+
+    #[test]
+    fn dot_product_keeps_accumulator_loop() {
+        let mut p = Program::new("dot");
+        let i = p.int_var("i");
+        let s = p.flt_var("s");
+        let a = p.flt_arr("A", 32);
+        let b = p.flt_arr("B", 32);
+        p.body = vec![Stmt::For {
+            var: i,
+            lo: Bound::Const(0),
+            hi: Bound::Const(31),
+            body: vec![Stmt::SetScalar(
+                s,
+                Expr::add(
+                    Expr::Var(s),
+                    Expr::mul(Expr::at(a, Index::var(i)), Expr::at(b, Index::var(i))),
+                ),
+            )],
+        }];
+        let mut l = lower(&p);
+        conventional(&mut l.module);
+        let f = &l.module.func;
+        let forest = ilpc_analysis::LoopForest::compute(f);
+        let lp = forest.inner_loops()[0];
+        let body: Vec<_> = lp
+            .blocks
+            .iter()
+            .flat_map(|&b| f.block(b).insts.iter())
+            .collect();
+        // 2 loads, fmul, fadd (accumulate), counter add, branch.
+        assert_eq!(body.len(), 6, "{body:#?}");
+        assert!(body.iter().any(|i| i.op == Opcode::FMul));
+        // The accumulator self-add `s = s + t` survives.
+        let acc = body
+            .iter()
+            .find(|i| i.op == Opcode::FAdd)
+            .expect("accumulation");
+        assert_eq!(acc.src[0].reg().or(acc.src[1].reg()), acc.def());
+        let _ = RegClass::Flt;
+    }
+}

@@ -1,0 +1,167 @@
+//! Independent schedule validation.
+//!
+//! Re-derives the dependence DAG from the *original* program order and
+//! checks that a produced [`BlockSchedule`] satisfies every constraint the
+//! machine and the dependences impose. This is deliberately a separate
+//! code path from the scheduler (no shared cycle bookkeeping), so property
+//! tests can use it as an oracle.
+
+use crate::list::BlockSchedule;
+use ilpc_analysis::build_block_deps;
+use ilpc_ir::Inst;
+use ilpc_machine::{fu_kind, FuKind, Machine};
+use std::collections::HashMap;
+
+/// Check `sched` against `original` under `machine`; `can_cross` must be
+/// the same speculation policy the scheduler used.
+pub fn validate_schedule(
+    original: &[Inst],
+    sched: &BlockSchedule,
+    machine: &Machine,
+    can_cross: &dyn Fn(&Inst, &Inst) -> bool,
+) -> Result<(), String> {
+    let n = original.len();
+    if sched.insts.len() != n || sched.times.len() != n || sched.perm.len() != n {
+        return Err(format!(
+            "length mismatch: {} scheduled vs {} original",
+            sched.insts.len(),
+            n
+        ));
+    }
+
+    // 1. Permutation validity and instruction identity.
+    let mut seen = vec![false; n];
+    for (pos, &oi) in sched.perm.iter().enumerate() {
+        if oi >= n || seen[oi] {
+            return Err(format!("perm[{pos}] = {oi} is not a permutation"));
+        }
+        seen[oi] = true;
+        if sched.insts[pos] != original[oi] {
+            return Err(format!("instruction at position {pos} does not match"));
+        }
+    }
+
+    // 2. Non-decreasing issue times (in-order issue of the emitted order).
+    for w in sched.times.windows(2) {
+        if w[1] < w[0] {
+            return Err(format!("issue times decrease: {} then {}", w[0], w[1]));
+        }
+    }
+
+    // 3. Per-cycle resource limits.
+    let mut per_cycle: HashMap<u32, (u32, u32, [u32; 4])> = HashMap::new();
+    for (inst, &t) in sched.insts.iter().zip(&sched.times) {
+        let e = per_cycle.entry(t).or_default();
+        e.0 += 1;
+        if inst.op.is_branch() {
+            e.1 += 1;
+        }
+        let fi = match fu_kind(inst) {
+            FuKind::IntAlu => Some(0),
+            FuKind::IntMulDiv => Some(1),
+            FuKind::Fp => Some(2),
+            FuKind::Mem => Some(3),
+            FuKind::Branch => None,
+        };
+        if let Some(fi) = fi {
+            e.2[fi] += 1;
+        }
+    }
+    for (t, (total, branches, fu)) in &per_cycle {
+        if *total > machine.issue_width {
+            return Err(format!("cycle {t}: {total} issues > width"));
+        }
+        if *branches > machine.branch_slots {
+            return Err(format!("cycle {t}: {branches} branches > slots"));
+        }
+        let limits = [
+            machine.fu.int_alu,
+            machine.fu.int_mul_div,
+            machine.fu.fp,
+            machine.fu.mem,
+        ];
+        for (k, (&used, &lim)) in fu.iter().zip(&limits).enumerate() {
+            if used > lim {
+                return Err(format!("cycle {t}: fu class {k}: {used} > {lim}"));
+            }
+        }
+    }
+
+    // 4. Dependence edges: position and delay.
+    let lat = |i: &Inst| machine.latency.of(i);
+    let g = build_block_deps(original, &lat, can_cross);
+    let mut pos_of = vec![0usize; n];
+    for (pos, &oi) in sched.perm.iter().enumerate() {
+        pos_of[oi] = pos;
+    }
+    for d in &g.edges {
+        let (pf, pt) = (pos_of[d.from], pos_of[d.to]);
+        if pf >= pt {
+            return Err(format!(
+                "edge {:?} {}→{} violated in linear order",
+                d.kind, d.from, d.to
+            ));
+        }
+        let (tf, tt) = (sched.times[pf], sched.times[pt]);
+        if tt < tf + d.min_delay {
+            return Err(format!(
+                "edge {:?} {}→{}: issue {tt} < {tf} + {}",
+                d.kind, d.from, d.to, d.min_delay
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::schedule_insts;
+    use ilpc_ir::inst::MemLoc;
+    use ilpc_ir::{BlockId, Cond, Opcode, Operand, Reg, SymId};
+
+    fn allow_all(_: &Inst, _: &Inst) -> bool {
+        true
+    }
+
+    #[test]
+    fn accepts_scheduler_output() {
+        let a = SymId(0);
+        let body = vec![
+            Inst::load(Reg::flt(0), Operand::Sym(a), Operand::ImmI(0), MemLoc::affine(a, 0, 0)),
+            Inst::alu(Opcode::FAdd, Reg::flt(1), Reg::flt(0).into(), Operand::ImmF(1.0)),
+            Inst::store(Operand::Sym(a), Operand::ImmI(1), Reg::flt(1).into(), MemLoc::affine(a, 0, 1)),
+            Inst::br(Cond::Lt, Operand::ImmI(0), Operand::ImmI(1), BlockId(0)),
+        ];
+        for width in [1, 2, 8] {
+            let m = Machine::issue(width);
+            let s = schedule_insts(&body, &m, &|_| ilpc_analysis::RegSet::new());
+            validate_schedule(&body, &s, &m, &allow_all).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_tampered_time() {
+        let body = vec![
+            Inst::mov(Reg::int(0), Operand::ImmI(1)),
+            Inst::alu(Opcode::Add, Reg::int(1), Reg::int(0).into(), Operand::ImmI(2)),
+        ];
+        let m = Machine::issue(8);
+        let mut s = schedule_insts(&body, &m, &|_| ilpc_analysis::RegSet::new());
+        // The add must wait one cycle for the mov; force it earlier.
+        s.times = vec![0, 0];
+        assert!(validate_schedule(&body, &s, &m, &allow_all).is_err());
+    }
+
+    #[test]
+    fn rejects_overfull_cycle() {
+        let body: Vec<Inst> = (0..4)
+            .map(|k| Inst::mov(Reg::int(k), Operand::ImmI(k as i64)))
+            .collect();
+        let m = Machine::issue(2);
+        let mut s = schedule_insts(&body, &m, &|_| ilpc_analysis::RegSet::new());
+        s.times = vec![0, 0, 0, 0];
+        let e = validate_schedule(&body, &s, &m, &allow_all).unwrap_err();
+        assert!(e.contains("issues > width"), "{e}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Quick start: compile the paper's Figure 1 vector-add loop at every
+//! transformation level and watch the cycle counts drop.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ilp_compiler::prelude::*;
+
+fn main() {
+    // `add` is the Table 2 vector-library loop `C(j) = A(j) + B(j)` —
+    // the exact loop of the paper's Figure 1.
+    let meta = table2().into_iter().find(|m| m.name == "add").unwrap();
+    let w = build(&meta, 1.0); // full 1024-iteration trip count
+
+    println!("loop nest: {} ({} / {})", meta.name, meta.suite, meta.ltype);
+    println!();
+
+    let base = evaluate(&w, Level::Conv, &Machine::base())
+        .expect("baseline must simulate correctly");
+    println!("baseline (issue-1, Conv): {} cycles", base.cycles);
+    println!();
+    println!(
+        "{:<6} {:>12} {:>10} {:>8} {:>8}",
+        "level", "cycles(i8)", "speedup", "regs", "insts"
+    );
+    for level in Level::ALL {
+        let p = evaluate(&w, level, &Machine::issue(8))
+            .expect("every level must simulate correctly");
+        println!(
+            "{:<6} {:>12} {:>9.2}x {:>8} {:>8}",
+            level.name(),
+            p.cycles,
+            base.cycles as f64 / p.cycles as f64,
+            p.regs.total(),
+            p.static_insts,
+        );
+    }
+    println!();
+    println!("(speedups are relative to the issue-1 conventional baseline,");
+    println!(" exactly like the paper's Figures 8-10)");
+}

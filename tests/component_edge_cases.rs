@@ -1,0 +1,260 @@
+//! Edge-case coverage across components, exercised through the public API:
+//! unusual loop bounds, degenerate expressions, empty-ish programs, deep
+//! nesting, tag disambiguation corners, and simulator interlock corners
+//! that the main workloads do not hit.
+
+use ilp_compiler::harness::compile::compile;
+use ilp_compiler::prelude::*;
+use ilp_compiler::sim::{memory_from_init, read_symbol, simulate};
+use ilpc_ir::ast::ArrId;
+use ilpc_workloads::Workload;
+
+fn run_all_levels(p: Program, init: DataInit) {
+    let w = Workload { meta: table2()[0].clone(), program: p, init };
+    for level in Level::ALL {
+        evaluate(&w, level, &Machine::issue(8))
+            .unwrap_or_else(|e| panic!("{level}: {e}"));
+    }
+}
+
+#[test]
+fn empty_body_program() {
+    let mut p = Program::new("empty");
+    let _a = p.flt_arr("A", 4);
+    p.body = vec![];
+    run_all_levels(p, DataInit::new());
+}
+
+#[test]
+fn loop_with_one_iteration() {
+    let mut p = Program::new("one");
+    let i = p.int_var("i");
+    let a = p.flt_arr("A", 8);
+    p.body = vec![Stmt::For {
+        var: i,
+        lo: Bound::Const(3),
+        hi: Bound::Const(3),
+        body: vec![Stmt::SetArr(a, Index::var(i), Expr::Cf(7.0))],
+    }];
+    run_all_levels(p, DataInit::new());
+}
+
+#[test]
+fn negative_loop_bounds() {
+    // DO i = -5, 5 writing A(i+6).
+    let mut p = Program::new("neg");
+    let i = p.int_var("i");
+    let a = p.flt_arr("A", 16);
+    p.body = vec![Stmt::For {
+        var: i,
+        lo: Bound::Const(-5),
+        hi: Bound::Const(5),
+        body: vec![Stmt::SetArr(
+            a,
+            Index::var(i).offset(6),
+            Expr::Cvt(Box::new(Expr::Var(i))),
+        )],
+    }];
+    run_all_levels(p, DataInit::new());
+}
+
+#[test]
+fn four_deep_nest() {
+    let mut p = Program::new("deep");
+    let vars: Vec<_> = (0..4).map(|k| p.int_var(&format!("v{k}"))).collect();
+    let a = p.flt_arr("A", 64);
+    let mut body = vec![Stmt::SetArr(
+        a,
+        Index::var(vars[3]).plus(vars[0], 16),
+        Expr::add(
+            Expr::at(a, Index::var(vars[3]).plus(vars[0], 16)),
+            Expr::Cf(1.0),
+        ),
+    )];
+    for v in vars.iter().rev() {
+        body = vec![Stmt::For {
+            var: *v,
+            lo: Bound::Const(0),
+            hi: Bound::Const(2),
+            body,
+        }];
+    }
+    p.body = body;
+    run_all_levels(p, DataInit::new());
+}
+
+#[test]
+fn nested_ifs_in_loop() {
+    let mut p = Program::new("nested_if");
+    let i = p.int_var("i");
+    let s = p.flt_var("s");
+    let a = p.flt_arr("A", 40);
+    p.body = vec![Stmt::For {
+        var: i,
+        lo: Bound::Const(0),
+        hi: Bound::Const(31),
+        body: vec![Stmt::If {
+            cond: (Cond::Gt, Expr::at(a, Index::var(i)), Expr::Cf(0.5)),
+            then: vec![Stmt::If {
+                cond: (Cond::Lt, Expr::at(a, Index::var(i)), Expr::Cf(0.8)),
+                then: vec![Stmt::SetScalar(
+                    s,
+                    Expr::add(Expr::Var(s), Expr::at(a, Index::var(i))),
+                )],
+                els: vec![Stmt::SetScalar(
+                    s,
+                    Expr::sub(Expr::Var(s), Expr::Cf(0.1)),
+                )],
+                prob: 0.5,
+            }],
+            els: vec![],
+            prob: 0.5,
+        }],
+    }];
+    let init = DataInit::new().with_array(
+        ArrId(0),
+        ArrayVal::F((0..40).map(|k| (k % 10) as f64 / 10.0).collect()),
+    );
+    run_all_levels(p, init);
+}
+
+#[test]
+fn integer_workload_with_division() {
+    let mut p = Program::new("intdiv");
+    let i = p.int_var("i");
+    let a = p.int_arr("A", 32);
+    let d = p.int_arr("D", 32);
+    p.body = vec![Stmt::For {
+        var: i,
+        lo: Bound::Const(0),
+        hi: Bound::Const(31),
+        body: vec![
+            Stmt::SetArr(
+                d,
+                Index::var(i),
+                Expr::add(
+                    Expr::div(Expr::at(a, Index::var(i)), Expr::Ci(3)),
+                    Expr::rem(Expr::at(a, Index::var(i)), Expr::Ci(5)),
+                ),
+            ),
+        ],
+    }];
+    let init = DataInit::new().with_array(
+        ArrId(0),
+        ArrayVal::I((0..32).map(|k| k * 7 - 50).collect()),
+    );
+    run_all_levels(p, init);
+}
+
+#[test]
+fn same_array_read_write_distinct_strides() {
+    // A(2i) = A(2i+1): strided in-place, tags with coef 2 and offsets 0/1.
+    let mut p = Program::new("stride2");
+    let i = p.int_var("i");
+    let a = p.flt_arr("A", 80);
+    p.body = vec![Stmt::For {
+        var: i,
+        lo: Bound::Const(0),
+        hi: Bound::Const(30),
+        body: vec![Stmt::SetArr(
+            a,
+            Index::default().plus(i, 2),
+            Expr::at(a, Index::default().plus(i, 2).offset(1)),
+        )],
+    }];
+    let init = DataInit::new().with_array(
+        ArrId(0),
+        ArrayVal::F((0..80).map(|k| k as f64).collect()),
+    );
+    run_all_levels(p, init);
+}
+
+#[test]
+fn scalar_chain_through_loop_body() {
+    // t feeds the next statement within an iteration (no carry).
+    let mut p = Program::new("chain");
+    let i = p.int_var("i");
+    let t = p.flt_var("t");
+    let u = p.flt_var("u");
+    let a = p.flt_arr("A", 40);
+    let d = p.flt_arr("D", 40);
+    p.body = vec![Stmt::For {
+        var: i,
+        lo: Bound::Const(0),
+        hi: Bound::Const(31),
+        body: vec![
+            Stmt::SetScalar(t, Expr::mul(Expr::at(a, Index::var(i)), Expr::Cf(2.0))),
+            Stmt::SetScalar(u, Expr::add(Expr::Var(t), Expr::Cf(1.0))),
+            Stmt::SetArr(d, Index::var(i), Expr::mul(Expr::Var(u), Expr::Var(t))),
+        ],
+    }];
+    let init = DataInit::new().with_array(
+        ArrId(0),
+        ArrayVal::F((0..40).map(|k| 0.25 * k as f64).collect()),
+    );
+    run_all_levels(p, init);
+}
+
+#[test]
+fn compiled_code_static_growth_is_bounded() {
+    // Unrolling multiplies code size; the cap keeps it bounded.
+    for name in ["add", "NAS-5", "doduc-1"] {
+        let meta = table2().into_iter().find(|m| m.name == name).unwrap();
+        let w = build(&meta, 0.1);
+        let conv = compile(&w, Level::Conv, &Machine::issue(8));
+        let lev4 = compile(&w, Level::Lev4, &Machine::issue(8));
+        let growth = lev4.static_insts as f64 / conv.static_insts as f64;
+        assert!(
+            growth < 30.0,
+            "{name}: static growth {growth:.1}x ({} -> {})",
+            conv.static_insts,
+            lev4.static_insts
+        );
+    }
+}
+
+#[test]
+fn simulator_waw_interlock_orders_completions() {
+    // div (10 cycles) then mov to the same register: the mov's write must
+    // not be overtaken; a dependent store sees the mov's value, and the
+    // read cannot issue before the div completes.
+    use ilpc_ir::inst::{Inst, MemLoc};
+    use ilpc_ir::{Opcode, Operand, RegClass};
+    let mut m = Module::new("waw");
+    let out = m.symtab.declare("out", 1, RegClass::Int);
+    let f = &mut m.func;
+    let x = f.new_reg(RegClass::Int);
+    let b = f.add_block("b");
+    f.block_mut(b).insts.extend([
+        Inst::alu(Opcode::Div, x, Operand::ImmI(100), Operand::ImmI(3)),
+        Inst::mov(x, Operand::ImmI(7)),
+        Inst::store(Operand::Sym(out), Operand::ImmI(0), x.into(), MemLoc::affine(out, 0, 0)),
+        Inst::halt(),
+    ]);
+    let machine = Machine::issue(8);
+    let r = simulate(&m, &machine, vec![0], 100).unwrap();
+    assert_eq!(read_symbol(&m.symtab, &r.memory, out), ArrayVal::I(vec![7]));
+    // div at 0 (ready 10); mov must complete after: issue >= 10; store >= 11.
+    assert!(r.cycles >= 12, "cycles = {}", r.cycles);
+}
+
+#[test]
+fn memory_image_helpers_roundtrip() {
+    let mut p = Program::new("img");
+    let a = p.int_arr("A", 3);
+    let b = p.flt_arr("B", 2);
+    p.body = vec![];
+    let init = DataInit::new()
+        .with_array(a, ArrayVal::I(vec![1, -2, 3]))
+        .with_array(b, ArrayVal::F(vec![0.5, -0.25]));
+    let l = ilp_compiler::ir::lower::lower(&p);
+    let mem = memory_from_init(&l.module.symtab, &init);
+    assert_eq!(
+        read_symbol(&l.module.symtab, &mem, l.arr_syms[0]),
+        ArrayVal::I(vec![1, -2, 3])
+    );
+    assert_eq!(
+        read_symbol(&l.module.symtab, &mem, l.arr_syms[1]),
+        ArrayVal::F(vec![0.5, -0.25])
+    );
+}

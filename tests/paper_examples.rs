@@ -1,0 +1,35 @@
+//! The §2 worked examples of the paper must reproduce exactly: same
+//! transformations, same machine model, same cycle counts.
+
+use ilp_compiler::harness::examples_paper::{all_examples, measure};
+
+#[test]
+fn all_twelve_kernels_match_paper_cycles() {
+    let examples = all_examples();
+    assert_eq!(examples.len(), 13);
+    for e in &examples {
+        assert_eq!(
+            measure(e),
+            e.paper_cycles,
+            "{}: {}",
+            e.name,
+            e.description
+        );
+    }
+}
+
+#[test]
+fn transformations_strictly_improve_each_example() {
+    // Within each figure, the "after" kernel is faster per iteration.
+    let ex = all_examples();
+    let cyc = |name: &str| {
+        let e = ex.iter().find(|e| e.name == name).unwrap();
+        measure(e) as f64 / e.iterations as f64
+    };
+    assert!(cyc("fig1d") < cyc("fig1c"));
+    assert!(cyc("fig1d") < cyc("fig1b"));
+    assert!(cyc("fig3d") < cyc("fig3c"));
+    assert!(cyc("fig5d") < cyc("fig5c"));
+    assert!(cyc("fig6c") < cyc("fig6b"));
+    assert!(cyc("fig7c") < cyc("fig7b"));
+}

@@ -1,0 +1,225 @@
+//! Property-based tests (proptest) over the whole compiler.
+//!
+//! The strongest property available is *differential correctness*: for a
+//! randomly generated mini-FORTRAN program, the simulated result of the
+//! fully transformed code (Lev4, superblocks, scheduling) must equal the
+//! AST interpreter's result on random data. This exercises unrolling with
+//! arbitrary runtime trip counts, renaming, all three expansions, operation
+//! combining, strength reduction, tree height reduction, speculation and
+//! the simulator in one shot.
+
+use ilp_compiler::prelude::*;
+use ilpc_ir::ast::{ArrId, VarId};
+use proptest::prelude::*;
+
+/// A recipe for one random statement in the loop body.
+#[derive(Debug, Clone)]
+enum StmtKind {
+    /// `D(i+off) = <expr over sources>`.
+    Store { dst: usize, off: i64, expr: ExprKind },
+    /// `s = s + <expr>` (accumulation).
+    Accum { acc: usize, expr: ExprKind },
+    /// `if (A(i) > big) big = A(i)` (search).
+    Search { src: usize },
+    /// `X(i) = X(i-1)*0.5 + <expr>` (true recurrence).
+    Recur { expr: ExprKind },
+}
+
+/// A recipe for a random arithmetic expression over the source arrays.
+#[derive(Debug, Clone)]
+enum ExprKind {
+    Load { src: usize, off: i64 },
+    Const(i32),
+    Add(Box<ExprKind>, Box<ExprKind>),
+    Sub(Box<ExprKind>, Box<ExprKind>),
+    Mul(Box<ExprKind>, Box<ExprKind>),
+    /// Division by a constant (keeps values well-conditioned).
+    DivC(Box<ExprKind>, i32),
+}
+
+fn expr_strategy() -> impl Strategy<Value = ExprKind> {
+    let leaf = prop_oneof![
+        (0usize..3, -2i64..3).prop_map(|(src, off)| ExprKind::Load { src, off }),
+        (1i32..9).prop_map(ExprKind::Const),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprKind::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprKind::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprKind::Mul(Box::new(a), Box::new(b))),
+            (inner, 2i32..9).prop_map(|(a, c)| ExprKind::DivC(Box::new(a), c)),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = StmtKind> {
+    prop_oneof![
+        4 => (0usize..2, 0i64..3, expr_strategy())
+            .prop_map(|(dst, off, expr)| StmtKind::Store { dst, off, expr }),
+        2 => (0usize..2, expr_strategy())
+            .prop_map(|(acc, expr)| StmtKind::Accum { acc, expr }),
+        1 => (0usize..3).prop_map(|src| StmtKind::Search { src }),
+        1 => expr_strategy().prop_map(|expr| StmtKind::Recur { expr }),
+    ]
+}
+
+/// Materialize a recipe as a `Program` plus data.
+fn materialize(stmts: &[StmtKind], n: i64) -> (Program, DataInit) {
+    let mut p = Program::new("prop");
+    let len = (n + 16) as usize;
+    let srcs: Vec<ArrId> = (0..3).map(|k| p.flt_arr(&format!("S{k}"), len)).collect();
+    let dsts: Vec<ArrId> = (0..2).map(|k| p.flt_arr(&format!("D{k}"), len)).collect();
+    let x = p.flt_arr("X", len);
+    let accs: Vec<VarId> = (0..2).map(|k| p.flt_var(&format!("acc{k}"))).collect();
+    let big = p.flt_var("big");
+    let i = p.int_var("i");
+
+    fn lower_expr(e: &ExprKind, srcs: &[ArrId], i: VarId) -> Expr {
+        match e {
+            ExprKind::Load { src, off } => {
+                Expr::at(srcs[*src], Index::var(i).offset(off + 4))
+            }
+            ExprKind::Const(c) => Expr::Cf(*c as f64 * 0.25),
+            ExprKind::Add(a, b) => {
+                Expr::add(lower_expr(a, srcs, i), lower_expr(b, srcs, i))
+            }
+            ExprKind::Sub(a, b) => {
+                Expr::sub(lower_expr(a, srcs, i), lower_expr(b, srcs, i))
+            }
+            ExprKind::Mul(a, b) => {
+                Expr::mul(lower_expr(a, srcs, i), lower_expr(b, srcs, i))
+            }
+            ExprKind::DivC(a, c) => {
+                Expr::div(lower_expr(a, srcs, i), Expr::Cf(*c as f64))
+            }
+        }
+    }
+
+    let body: Vec<Stmt> = stmts
+        .iter()
+        .map(|s| match s {
+            StmtKind::Store { dst, off, expr } => Stmt::SetArr(
+                dsts[*dst],
+                Index::var(i).offset(off + 4),
+                lower_expr(expr, &srcs, i),
+            ),
+            StmtKind::Accum { acc, expr } => Stmt::SetScalar(
+                accs[*acc],
+                Expr::add(Expr::Var(accs[*acc]), lower_expr(expr, &srcs, i)),
+            ),
+            StmtKind::Search { src } => Stmt::If {
+                cond: (
+                    Cond::Gt,
+                    Expr::at(srcs[*src], Index::var(i).offset(4)),
+                    Expr::Var(big),
+                ),
+                then: vec![Stmt::SetScalar(
+                    big,
+                    Expr::at(srcs[*src], Index::var(i).offset(4)),
+                )],
+                els: vec![],
+                prob: 0.1,
+            },
+            StmtKind::Recur { expr } => Stmt::SetArr(
+                x,
+                Index::var(i).offset(4),
+                Expr::add(
+                    Expr::mul(Expr::at(x, Index::var(i).offset(3)), Expr::Cf(0.5)),
+                    lower_expr(expr, &srcs, i),
+                ),
+            ),
+        })
+        .collect();
+
+    p.body = vec![Stmt::For {
+        var: i,
+        lo: Bound::Const(0),
+        hi: Bound::Const(n - 1),
+        body,
+    }];
+
+    // Deterministic pseudo-random data derived from the statement count.
+    let mut init = DataInit::new();
+    let mut state = 0x9E3779B97F4A7C15u64 ^ (stmts.len() as u64);
+    let mut nextf = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        0.5 + ((state >> 20) & 0xFFFF) as f64 / 65536.0 // in [0.5, 1.5)
+    };
+    for a in &srcs {
+        init = init.with_array(*a, ArrayVal::F((0..len).map(|_| nextf()).collect()));
+    }
+    init = init.with_array(x, ArrayVal::F((0..len).map(|_| nextf()).collect()));
+    (p, init)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random programs compile and simulate to the interpreter's result at
+    /// every level on issue-8.
+    #[test]
+    fn random_programs_differential(
+        stmts in prop::collection::vec(stmt_strategy(), 1..6),
+        n in 3i64..40,
+    ) {
+        let (program, init) = materialize(&stmts, n);
+        let w = Workload {
+            meta: table2()[0].clone(),
+            program,
+            init,
+        };
+        for level in [Level::Conv, Level::Lev2, Level::Lev4] {
+            evaluate(&w, level, &Machine::issue(8))
+                .unwrap_or_else(|e| panic!("{level}: {e}\nstmts: {stmts:#?}"));
+        }
+    }
+
+    /// Every runtime trip count (including those not divisible by the
+    /// unroll factor) survives preconditioned unrolling.
+    #[test]
+    fn trip_counts_exhaustive(n in 1i64..36) {
+        let (program, init) = materialize(
+            &[StmtKind::Accum {
+                acc: 0,
+                expr: ExprKind::Load { src: 0, off: 0 },
+            }],
+            n,
+        );
+        let w = Workload { meta: table2()[0].clone(), program, init };
+        for level in [Level::Lev1, Level::Lev4] {
+            evaluate(&w, level, &Machine::issue(4))
+                .unwrap_or_else(|e| panic!("n={n} {level}: {e}"));
+        }
+    }
+
+    /// Integer multiply strength reduction is exact for arbitrary operands.
+    #[test]
+    fn strength_reduction_semantics(c in -20i64..20, xs in prop::collection::vec(-1000i64..1000, 4)) {
+        let mut p = Program::new("sr");
+        let a = p.int_arr("A", 8);
+        let d = p.int_arr("D", 8);
+        let i = p.int_var("i");
+        p.body = vec![Stmt::For {
+            var: i,
+            lo: Bound::Const(0),
+            hi: Bound::Const(3),
+            body: vec![Stmt::SetArr(
+                d,
+                Index::var(i),
+                Expr::mul(Expr::at(a, Index::var(i)), Expr::Ci(c)),
+            )],
+        }];
+        let mut data = xs.clone();
+        data.resize(8, 0);
+        let init = DataInit::new().with_array(a, ArrayVal::I(data));
+        let w = Workload { meta: table2()[0].clone(), program: p, init };
+        evaluate(&w, Level::Lev3, &Machine::issue(8))
+            .unwrap_or_else(|e| panic!("c={c}: {e}"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests over the list scheduler: for randomly generated blocks
+//! and machine configurations, the produced schedule must pass the
+//! independent validator (permutation correctness, monotone issue times,
+//! issue-width / branch-slot / functional-unit limits, and every dependence
+//! edge's minimum delay).
+
+use ilp_compiler::machine::Machine;
+use ilp_compiler::sched::{schedule_insts, validate_schedule};
+use ilpc_ir::inst::{Inst, MemLoc};
+use ilpc_ir::{BlockId, Cond, Opcode, Operand, Reg, SymId};
+use proptest::prelude::*;
+
+/// A recipe for one random instruction over a small register pool.
+#[derive(Debug, Clone)]
+enum InstKind {
+    IntAlu { op: u8, dst: u8, a: u8, b: u8 },
+    Flt { op: u8, dst: u8, a: u8, b: u8 },
+    Load { dst: u8, sym: u8, off: i8 },
+    Store { val: u8, sym: u8, off: i8 },
+    Branch { cond: u8, a: u8, b: u8 },
+}
+
+fn inst_strategy() -> impl Strategy<Value = InstKind> {
+    prop_oneof![
+        4 => (0u8..4, 0u8..6, 0u8..6, 0u8..6)
+            .prop_map(|(op, dst, a, b)| InstKind::IntAlu { op, dst, a, b }),
+        4 => (0u8..4, 0u8..6, 0u8..6, 0u8..6)
+            .prop_map(|(op, dst, a, b)| InstKind::Flt { op, dst, a, b }),
+        3 => (0u8..6, 0u8..2, -4i8..8)
+            .prop_map(|(dst, sym, off)| InstKind::Load { dst, sym, off }),
+        2 => (0u8..6, 0u8..2, -4i8..8)
+            .prop_map(|(val, sym, off)| InstKind::Store { val, sym, off }),
+        1 => (0u8..4, 0u8..6, 0u8..6)
+            .prop_map(|(cond, a, b)| InstKind::Branch { cond, a, b }),
+    ]
+}
+
+fn materialize(kinds: &[InstKind]) -> Vec<Inst> {
+    let int_ops = [Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::Div];
+    let flt_ops = [Opcode::FAdd, Opcode::FSub, Opcode::FMul, Opcode::FDiv];
+    let conds = [Cond::Lt, Cond::Ge, Cond::Eq, Cond::Ne];
+    kinds
+        .iter()
+        .map(|k| match *k {
+            InstKind::IntAlu { op, dst, a, b } => Inst::alu(
+                int_ops[op as usize],
+                Reg::int(dst as u32),
+                Reg::int(a as u32).into(),
+                Reg::int(b as u32).into(),
+            ),
+            InstKind::Flt { op, dst, a, b } => Inst::alu(
+                flt_ops[op as usize],
+                Reg::flt(dst as u32),
+                Reg::flt(a as u32).into(),
+                Reg::flt(b as u32).into(),
+            ),
+            InstKind::Load { dst, sym, off } => Inst::load(
+                Reg::flt(dst as u32),
+                Operand::Sym(SymId(sym as u32)),
+                Operand::ImmI(off as i64),
+                MemLoc::affine(SymId(sym as u32), 1, off as i64),
+            ),
+            InstKind::Store { val, sym, off } => Inst::store(
+                Operand::Sym(SymId(sym as u32)),
+                Operand::ImmI(off as i64),
+                Reg::flt(val as u32).into(),
+                MemLoc::affine(SymId(sym as u32), 1, off as i64),
+            ),
+            InstKind::Branch { cond, a, b } => Inst::br(
+                conds[cond as usize],
+                Reg::int(a as u32).into(),
+                Reg::int(b as u32).into(),
+                BlockId(0),
+            ),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_schedules_validate(
+        kinds in prop::collection::vec(inst_strategy(), 1..40),
+        width in 1u32..10,
+        branch_slots in 1u32..3,
+        mem_ports in prop_oneof![Just(u32::MAX), (1u32..4).prop_map(|x| x)],
+        fp_units in prop_oneof![Just(u32::MAX), (1u32..4).prop_map(|x| x)],
+        spec_loads in any::<bool>(),
+    ) {
+        let insts = materialize(&kinds);
+        let mut machine = Machine::issue(width);
+        machine.branch_slots = branch_slots;
+        machine.fu.mem = mem_ports;
+        machine.fu.fp = fp_units;
+        machine.nonexcepting_loads = spec_loads;
+
+        // The same policy the scheduler uses internally (empty live sets:
+        // everything dead at targets, so speculation hinges on op class).
+        let can_cross = move |_b: &Inst, later: &Inst| {
+            later.can_speculate(spec_loads)
+        };
+        let sched = schedule_insts(&insts, &machine, &|_| {
+            ilp_compiler::analysis::RegSet::new()
+        });
+        validate_schedule(&insts, &sched, &machine, &can_cross)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+    }
+
+    /// The schedule never regresses: makespan under a wider machine is at
+    /// most the makespan under a narrower one.
+    #[test]
+    fn wider_machines_never_lengthen_schedules(
+        kinds in prop::collection::vec(inst_strategy(), 1..30),
+    ) {
+        let insts = materialize(&kinds);
+        let mut prev = u32::MAX;
+        for width in [1u32, 2, 4, 8, 16] {
+            let m = Machine::issue(width);
+            let s = schedule_insts(&insts, &m, &|_| {
+                ilp_compiler::analysis::RegSet::new()
+            });
+            let len = s.length();
+            prop_assert!(len <= prev, "width {width}: {len} > {prev}");
+            prev = len;
+        }
+    }
+}
