@@ -4,73 +4,58 @@
 //! ```text
 //! cargo bench -p ilpc-bench --bench compile_time
 //! ```
+//!
+//! Results print to stdout and land in `BENCH_compile_time.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ilpc_core::level::{apply_level, Level};
 use ilpc_core::unroll::UnrollConfig;
 use ilpc_harness::compile::compile;
 use ilpc_ir::lower::lower;
 use ilpc_machine::Machine;
+use ilpc_testkit::bench::Harness;
 use ilpc_workloads::{build, table2};
-use std::hint::black_box;
 
 /// Full pipeline (lower + level + superblocks + schedule) per level.
-fn bench_levels(c: &mut Criterion) {
+fn bench_levels(h: &mut Harness) {
     let meta = table2().into_iter().find(|m| m.name == "dotprod").unwrap();
     let w = build(&meta, 0.1);
-    let mut g = c.benchmark_group("compile_pipeline");
     for level in Level::ALL {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(level.name()),
-            &level,
-            |b, &level| {
-                b.iter(|| black_box(compile(&w, level, &Machine::issue(8))))
-            },
-        );
+        h.bench(&format!("compile_pipeline/{}", level.name()), || {
+            compile(&w, level, &Machine::issue(8))
+        });
     }
-    g.finish();
 }
 
 /// Per-workload Lev4 compile times across body shapes (small, huge,
 /// conditional, recurrence).
-fn bench_workload_shapes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compile_lev4_by_shape");
+fn bench_workload_shapes(h: &mut Harness) {
     for name in ["add", "NAS-5", "maxval", "LWS-2", "doduc-1"] {
         let meta = table2().into_iter().find(|m| m.name == name).unwrap();
         let w = build(&meta, 0.1);
-        g.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
-            b.iter(|| black_box(compile(w, Level::Lev4, &Machine::issue(8))))
+        h.bench(&format!("compile_lev4_by_shape/{name}"), || {
+            compile(&w, Level::Lev4, &Machine::issue(8))
         });
     }
-    g.finish();
 }
 
 /// The transformation stage alone (no scheduling), isolating the cost of
 /// the paper's passes from the back end.
-fn bench_transform_stage(c: &mut Criterion) {
+fn bench_transform_stage(h: &mut Harness) {
     let meta = table2().into_iter().find(|m| m.name == "tomcatv-1").unwrap();
     let w = build(&meta, 0.1);
-    let mut g = c.benchmark_group("transform_stage");
     for level in [Level::Conv, Level::Lev2, Level::Lev4] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(level.name()),
-            &level,
-            |b, &level| {
-                b.iter(|| {
-                    let mut m = lower(&w.program).module;
-                    apply_level(&mut m, level, &UnrollConfig::default());
-                    black_box(m)
-                })
-            },
-        );
+        h.bench(&format!("transform_stage/{}", level.name()), || {
+            let mut m = lower(&w.program).module;
+            apply_level(&mut m, level, &UnrollConfig::default());
+            m
+        });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_levels,
-    bench_workload_shapes,
-    bench_transform_stage
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("compile_time");
+    bench_levels(&mut h);
+    bench_workload_shapes(&mut h);
+    bench_transform_stage(&mut h);
+    h.finish();
+}

@@ -1,5 +1,5 @@
-//! One Criterion bench per paper table/figure: each benchmark regenerates
-//! its artifact end-to-end (grid slice → histogram/table text). Run with
+//! One benchmark per paper table/figure: each regenerates its artifact
+//! end-to-end (grid slice → histogram/table text). Run with
 //!
 //! ```text
 //! cargo bench -p ilpc-bench --bench figures
@@ -9,20 +9,21 @@
 //! content itself (the paper's rows/series) is printed once per benchmark
 //! at full fidelity by the `report` binary and asserted by the integration
 //! tests. Grid slices here run at reduced trip-count scale so the whole
-//! suite stays in benchmark-friendly time.
+//! suite stays in benchmark-friendly time. Results land in
+//! `BENCH_figures.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ilpc_core::level::Level;
 use ilpc_harness::figures::{
     regs_histogram, render_histogram, render_summary, render_table1,
     render_table2, speedup_histogram, Bins, Subset,
 };
 use ilpc_harness::grid::{run_grid, Grid, GridConfig};
-use std::hint::black_box;
+use ilpc_testkit::bench::Harness;
 use std::sync::OnceLock;
 
 /// One shared reduced-scale grid; each figure bench re-renders from it,
-/// plus a `grid_full_rebuild` bench measuring the compile+simulate sweep.
+/// plus a `grid/rebuild_small_grid` bench measuring the compile+simulate
+/// sweep.
 fn shared_grid() -> &'static Grid {
     static GRID: OnceLock<Grid> = OnceLock::new();
     GRID.get_or_init(|| {
@@ -32,91 +33,59 @@ fn shared_grid() -> &'static Grid {
     })
 }
 
-fn bench_tables(c: &mut Criterion) {
-    c.bench_function("table1_latencies", |b| {
-        b.iter(|| black_box(render_table1()))
-    });
-    c.bench_function("table2_loop_nests", |b| {
-        b.iter(|| black_box(render_table2()))
-    });
+fn bench_tables(h: &mut Harness) {
+    h.bench("table1_latencies", render_table1);
+    h.bench("table2_loop_nests", render_table2);
 }
 
-fn bench_figures(c: &mut Criterion) {
+fn bench_figures(h: &mut Harness) {
     let grid = shared_grid();
-    let mut g = c.benchmark_group("figures");
-    g.bench_function("fig08_speedups_issue2", |b| {
-        b.iter(|| {
-            let h = speedup_histogram(grid, 2, Bins::fig8(), Subset::All);
-            black_box(render_histogram("fig8", &h))
-        })
-    });
-    g.bench_function("fig09_speedups_issue4", |b| {
-        b.iter(|| {
-            let h = speedup_histogram(grid, 4, Bins::fig9(), Subset::All);
-            black_box(render_histogram("fig9", &h))
-        })
-    });
-    g.bench_function("fig10_speedups_issue8", |b| {
-        b.iter(|| {
-            let h = speedup_histogram(grid, 8, Bins::fig10(), Subset::All);
-            black_box(render_histogram("fig10", &h))
-        })
-    });
-    g.bench_function("fig11_registers_issue8", |b| {
-        b.iter(|| {
-            let h = regs_histogram(grid, 8, Subset::All);
-            black_box(render_histogram("fig11", &h))
-        })
-    });
-    g.bench_function("fig12_speedups_doall", |b| {
-        b.iter(|| {
-            let h = speedup_histogram(grid, 8, Bins::fig10(), Subset::Doall);
-            black_box(render_histogram("fig12", &h))
-        })
-    });
-    g.bench_function("fig13_registers_doall", |b| {
-        b.iter(|| {
-            let h = regs_histogram(grid, 8, Subset::Doall);
-            black_box(render_histogram("fig13", &h))
-        })
-    });
-    g.bench_function("fig14_speedups_nondoall", |b| {
-        b.iter(|| {
-            let h = speedup_histogram(grid, 8, Bins::fig10(), Subset::NonDoall);
-            black_box(render_histogram("fig14", &h))
-        })
-    });
-    g.bench_function("fig15_registers_nondoall", |b| {
-        b.iter(|| {
-            let h = regs_histogram(grid, 8, Subset::NonDoall);
-            black_box(render_histogram("fig15", &h))
-        })
-    });
-    g.bench_function("summary_statistics", |b| {
-        b.iter(|| black_box(render_summary(grid)))
-    });
-    g.finish();
+    let speedup_figs: &[(&str, &str, u32, Bins, Subset)] = &[
+        ("figures/fig08_speedups_issue2", "fig8", 2, Bins::fig8(), Subset::All),
+        ("figures/fig09_speedups_issue4", "fig9", 4, Bins::fig9(), Subset::All),
+        ("figures/fig10_speedups_issue8", "fig10", 8, Bins::fig10(), Subset::All),
+        ("figures/fig12_speedups_doall", "fig12", 8, Bins::fig10(), Subset::Doall),
+        ("figures/fig14_speedups_nondoall", "fig14", 8, Bins::fig10(), Subset::NonDoall),
+    ];
+    for (label, fig, width, bins, subset) in speedup_figs {
+        h.bench(label, || {
+            let hist = speedup_histogram(grid, *width, bins.clone(), *subset);
+            render_histogram(fig, &hist)
+        });
+    }
+    let regs_figs: &[(&str, &str, Subset)] = &[
+        ("figures/fig11_registers_issue8", "fig11", Subset::All),
+        ("figures/fig13_registers_doall", "fig13", Subset::Doall),
+        ("figures/fig15_registers_nondoall", "fig15", Subset::NonDoall),
+    ];
+    for (label, fig, subset) in regs_figs {
+        h.bench(label, || {
+            let hist = regs_histogram(grid, 8, *subset);
+            render_histogram(fig, &hist)
+        });
+    }
+    h.bench("figures/summary_statistics", || render_summary(grid));
 }
 
-fn bench_grid_rebuild(c: &mut Criterion) {
+fn bench_grid_rebuild(h: &mut Harness) {
     // The end-to-end sweep behind every figure: 40 loops × 5 levels ×
     // {1,8}, compiled, scheduled, simulated and verified.
-    let mut g = c.benchmark_group("grid");
-    g.sample_size(10);
-    g.bench_function("rebuild_small_grid", |b| {
-        b.iter(|| {
-            let grid = run_grid(&GridConfig {
-                scale: 0.02,
-                levels: Level::ALL.to_vec(),
-                widths: vec![1, 8],
-                threads: 4,
-            });
-            assert!(grid.errors.is_empty());
-            black_box(grid)
-        })
+    h.bench_n("grid/rebuild_small_grid", 10, || {
+        let grid = run_grid(&GridConfig {
+            scale: 0.02,
+            levels: Level::ALL.to_vec(),
+            widths: vec![1, 8],
+            threads: 4,
+        });
+        assert!(grid.errors.is_empty());
+        grid
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_tables, bench_figures, bench_grid_rebuild);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("figures");
+    bench_tables(&mut h);
+    bench_figures(&mut h);
+    bench_grid_rebuild(&mut h);
+    h.finish();
+}

@@ -5,19 +5,20 @@
 //! ```text
 //! cargo bench -p ilpc-bench --bench simulator
 //! ```
+//!
+//! Results print to stdout (with Melem/s = simulated Minsts/s) and land in
+//! `BENCH_simulator.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ilpc_core::level::Level;
 use ilpc_harness::compile::compile;
 use ilpc_machine::Machine;
 use ilpc_sim::{memory_from_init, simulate};
+use ilpc_testkit::bench::Harness;
 use ilpc_workloads::{build, table2};
-use std::hint::black_box;
 
-fn bench_sim_widths(c: &mut Criterion) {
+fn bench_sim_widths(h: &mut Harness) {
     let meta = table2().into_iter().find(|m| m.name == "NAS-3").unwrap();
     let w = build(&meta, 0.25);
-    let mut g = c.benchmark_group("simulate_by_width");
     for width in [1u32, 2, 4, 8] {
         let machine = Machine::issue(width);
         let compiled = compile(&w, Level::Lev4, &machine);
@@ -25,46 +26,31 @@ fn bench_sim_widths(c: &mut Criterion) {
         let dyn_insts = simulate(&compiled.module, &machine, mem.clone(), u64::MAX)
             .unwrap()
             .dyn_insts;
-        g.throughput(Throughput::Elements(dyn_insts));
-        g.bench_with_input(
-            BenchmarkId::from_parameter(width),
-            &(compiled, machine, mem),
-            |b, (compiled, machine, mem)| {
-                b.iter(|| {
-                    black_box(
-                        simulate(&compiled.module, machine, mem.clone(), u64::MAX)
-                            .unwrap(),
-                    )
-                })
-            },
-        );
+        h.bench_elems(&format!("simulate_by_width/{width}"), dyn_insts, || {
+            simulate(&compiled.module, &machine, mem.clone(), u64::MAX).unwrap()
+        });
     }
-    g.finish();
 }
 
-fn bench_sim_shapes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_by_shape");
+fn bench_sim_shapes(h: &mut Harness) {
     for name in ["add", "maxval", "LWS-2", "NAS-5"] {
         let meta = table2().into_iter().find(|m| m.name == name).unwrap();
         let w = build(&meta, 0.25);
         let machine = Machine::issue(8);
         let compiled = compile(&w, Level::Lev4, &machine);
         let mem = memory_from_init(&compiled.module.symtab, &w.init);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &(compiled, machine, mem),
-            |b, (compiled, machine, mem)| {
-                b.iter(|| {
-                    black_box(
-                        simulate(&compiled.module, machine, mem.clone(), u64::MAX)
-                            .unwrap(),
-                    )
-                })
-            },
-        );
+        let dyn_insts = simulate(&compiled.module, &machine, mem.clone(), u64::MAX)
+            .unwrap()
+            .dyn_insts;
+        h.bench_elems(&format!("simulate_by_shape/{name}"), dyn_insts, || {
+            simulate(&compiled.module, &machine, mem.clone(), u64::MAX).unwrap()
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_sim_widths, bench_sim_shapes);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("simulator");
+    bench_sim_widths(&mut h);
+    bench_sim_shapes(&mut h);
+    h.finish();
+}

@@ -16,6 +16,14 @@ use ilpc_workloads::Workload;
 /// results differ in low-order bits.
 pub const FLT_TOL: f64 = 1e-9;
 
+/// Simulation cycle budget for a reference execution of `stmts_executed`
+/// statements. Generous — issue-1 naive code runs well under 100
+/// cycles/instruction — and saturating, so huge `GridConfig::scale`
+/// values cannot wrap the budget around to a tiny number.
+pub fn cycle_budget(stmts_executed: u64) -> u64 {
+    stmts_executed.saturating_mul(4000).max(2_000_000)
+}
+
 /// One measured grid point.
 #[derive(Debug, Clone, Copy)]
 pub struct EvalPoint {
@@ -32,9 +40,8 @@ pub fn run_compiled(
     machine: &Machine,
 ) -> Result<EvalPoint, String> {
     let mem = memory_from_init(&compiled.module.symtab, &w.init);
-    // Generous budget: issue-1 naive code runs < 100 cycles/instruction.
     let reference = interpret(&w.program, &w.init);
-    let budget = (reference.stmts_executed * 4000).max(2_000_000);
+    let budget = cycle_budget(reference.stmts_executed);
     let res = simulate(&compiled.module, machine, mem, budget)
         .map_err(|e| format!("{}: {e}", w.meta.name))?;
 
@@ -119,6 +126,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The budget never wraps, no matter how large the reference
+    /// execution (e.g. an extreme `GridConfig::scale`).
+    #[test]
+    fn cycle_budget_saturates_instead_of_wrapping() {
+        assert_eq!(cycle_budget(0), 2_000_000);
+        assert_eq!(cycle_budget(1000), 4_000_000);
+        for huge in [u64::MAX, u64::MAX / 2, u64::MAX / 4000 + 1] {
+            assert_eq!(cycle_budget(huge), u64::MAX, "stmts = {huge}");
+        }
+        // Monotone around the saturation knee.
+        let knee = u64::MAX / 4000;
+        assert!(cycle_budget(knee) <= cycle_budget(knee + 1));
+    }
+
+    /// A budget-exceeded simulation surfaces as a clean `Err` from the
+    /// differential runner, not a wrap-around or a panic.
+    #[test]
+    fn budget_exceeded_surfaces_as_clean_err() {
+        let meta = table2().into_iter().find(|m| m.name == "add").unwrap();
+        let w = build(&meta, 0.04);
+        let machine = Machine::issue(1);
+        let mut compiled = crate::compile::compile(&w, Level::Conv, &machine);
+        // Tamper the compiled module into a runaway loop, the shape a
+        // miscompile (or hand-edited `.ilpc`) would produce.
+        let entry = compiled.module.func.entry();
+        compiled.module.func.block_mut(entry).insts =
+            vec![ilpc_ir::inst::Inst::jump(entry)];
+        let err = run_compiled(&w, &compiled, &machine)
+            .expect_err("runaway loop must not verify");
+        assert!(err.contains("cycle limit"), "{err}");
     }
 
     /// Speedups behave sanely: higher level + wider issue never makes the

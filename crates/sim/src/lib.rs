@@ -54,6 +54,14 @@ pub enum SimError {
     CycleLimit(u64),
     /// Control fell off the end of a block with no fall-through.
     FellOffEnd(BlockId),
+    /// An instruction is structurally invalid (e.g. a hand-edited or
+    /// truncated `.ilpc` module): missing destination register, memory
+    /// tag or branch target.
+    Malformed {
+        block: BlockId,
+        index: usize,
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -61,6 +69,9 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::CycleLimit(n) => write!(f, "cycle limit {n} exhausted"),
             SimError::FellOffEnd(b) => write!(f, "fell off the end of {b}"),
+            SimError::Malformed { block, index, reason } => {
+                write!(f, "malformed instruction {block}[{index}]: {reason}")
+            }
         }
     }
 }
@@ -208,6 +219,18 @@ pub fn simulate(
             if inst.op == Opcode::Nop {
                 continue;
             }
+            // Structured errors for malformed modules (hand-edited or
+            // truncated `.ilpc` input) instead of panics.
+            let malformed = move |reason: &'static str| SimError::Malformed {
+                block: cur,
+                index: inst_idx,
+                reason,
+            };
+            let dst =
+                || inst.dst.ok_or_else(|| malformed("missing destination register"));
+            let mem_tag = || inst.mem.ok_or_else(|| malformed("missing memory tag"));
+            let target =
+                || inst.target.ok_or_else(|| malformed("missing branch target"));
             let lat = machine.latency.of(inst) as u64;
 
             // Earliest issue by interlocks.
@@ -222,7 +245,7 @@ pub fn simulate(
             if inst.op == Opcode::Load {
                 // Same-cycle aliasing store forces +1 (store visible at
                 // issue+1). Earlier-cycle stores are already visible.
-                let tag = inst.mem.expect("load tag");
+                let tag = mem_tag()?;
                 while cpu
                     .recent_stores
                     .iter()
@@ -273,7 +296,7 @@ pub fn simulate(
             match inst.op {
                 Opcode::Mov => {
                     let v = cpu.operand(inst.src[0]);
-                    cpu.write(inst.dst.unwrap(), v, t + lat);
+                    cpu.write(dst()?, v, t + lat);
                 }
                 Opcode::Add
                 | Opcode::Sub
@@ -287,23 +310,23 @@ pub fn simulate(
                 | Opcode::Rem => {
                     let a = cpu.operand(inst.src[0]).as_i();
                     let b = cpu.operand(inst.src[1]).as_i();
-                    cpu.write(inst.dst.unwrap(), Value::I(eval_int(inst.op, a, b)), t + lat);
+                    cpu.write(dst()?, Value::I(eval_int(inst.op, a, b)), t + lat);
                 }
                 Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv => {
                     let a = cpu.operand(inst.src[0]).as_f();
                     let b = cpu.operand(inst.src[1]).as_f();
-                    cpu.write(inst.dst.unwrap(), Value::F(eval_flt(inst.op, a, b)), t + lat);
+                    cpu.write(dst()?, Value::F(eval_flt(inst.op, a, b)), t + lat);
                 }
                 Opcode::CvtIF => {
                     let a = cpu.operand(inst.src[0]).as_i();
-                    cpu.write(inst.dst.unwrap(), Value::F(a as f64), t + lat);
+                    cpu.write(dst()?, Value::F(a as f64), t + lat);
                 }
                 Opcode::CvtFI => {
                     let a = cpu.operand(inst.src[0]).as_f();
-                    cpu.write(inst.dst.unwrap(), Value::I(a as i64), t + lat);
+                    cpu.write(dst()?, Value::I(a as i64), t + lat);
                 }
                 Opcode::Load => {
-                    let d = inst.dst.unwrap();
+                    let d = dst()?;
                     let addr = cpu.address(inst);
                     // Non-excepting: out-of-range reads return zero.
                     let bits = if addr >= 0 && (addr as usize) < cpu.mem.len() {
@@ -318,7 +341,7 @@ pub fn simulate(
                     if addr >= 0 && (addr as usize) < cpu.mem.len() {
                         cpu.mem[addr as usize] = cpu.operand(inst.src[2]).to_bits();
                     }
-                    let tag = inst.mem.expect("store tag");
+                    let tag = mem_tag()?;
                     cpu.recent_stores.push((tag, t));
                     if cpu.recent_stores.len() > 64 {
                         cpu.recent_stores.drain(..32);
@@ -338,7 +361,7 @@ pub fn simulate(
                         }
                     }
                     if taken {
-                        cur = inst.target.unwrap();
+                        cur = target()?;
                         cursor = t + lat;
                         slots = 0;
                         branch_slots = 0;
@@ -347,7 +370,7 @@ pub fn simulate(
                     }
                 }
                 Opcode::Jump => {
-                    cur = inst.target.unwrap();
+                    cur = target()?;
                     cursor = t + lat;
                     slots = 0;
                     branch_slots = 0;
@@ -574,6 +597,45 @@ mod tests {
         match simulate(&m, &Machine::issue(1), vec![], 100) {
             Err(SimError::CycleLimit(100)) => {}
             other => panic!("expected cycle limit, got {other:?}"),
+        }
+    }
+
+    /// A hand-edited/truncated module (missing dst, memory tag or branch
+    /// target) must surface as `SimError::Malformed`, not a panic.
+    #[test]
+    fn malformed_module_is_a_structured_error() {
+        let build = |tamper: fn(&mut Inst)| {
+            let mut m = Module::new("t");
+            let a = m.symtab.declare("A", 4, RegClass::Flt);
+            let f = &mut m.func;
+            let x = f.new_reg(RegClass::Flt);
+            let blk = f.add_block("b");
+            let mut insts = vec![
+                Inst::load(x, Operand::Sym(a), Operand::ImmI(0), MemLoc::affine(a, 1, 0)),
+                Inst::alu(Opcode::FAdd, x, x.into(), x.into()),
+                Inst::br(Cond::Lt, Operand::ImmI(0), Operand::ImmI(1), blk),
+                Inst::halt(),
+            ];
+            tamper(&mut insts[0]);
+            tamper(&mut insts[1]);
+            tamper(&mut insts[2]);
+            f.block_mut(blk).insts = insts;
+            m
+        };
+        let cases: [(fn(&mut Inst), &str); 3] = [
+            (|i| i.dst = None, "missing destination register"),
+            (|i| i.mem = None, "missing memory tag"),
+            (|i| i.target = None, "missing branch target"),
+        ];
+        for (tamper, want) in cases {
+            let m = build(tamper);
+            match simulate(&m, &Machine::issue(2), vec![0; 8], 1000) {
+                Err(SimError::Malformed { block, reason, .. }) => {
+                    assert_eq!(block, BlockId(0));
+                    assert_eq!(reason, want);
+                }
+                other => panic!("expected Malformed({want}), got {other:?}"),
+            }
         }
     }
 

@@ -1,0 +1,24 @@
+//! # ilpc-testkit — hermetic, std-only testing infrastructure
+//!
+//! The workspace builds and tests with **zero external crates** so the
+//! tier-1 verify (`cargo build --release --offline && cargo test -q
+//! --offline`) works in fully sandboxed environments. This crate vendors
+//! the three pieces of infrastructure that used to come from crates.io:
+//!
+//! * [`rng`] — a deterministic, seedable SplitMix64/xoshiro256++ PRNG
+//!   replacing `rand::StdRng` for workload data synthesis. Output is
+//!   pinned by golden-value tests so the generated inputs are identical
+//!   across platforms and Rust versions.
+//! * [`prop`] — a minimal property-testing framework (generator
+//!   combinators over a recorded choice sequence, bounded shrinking,
+//!   seed reporting on failure) replacing `proptest` for the random
+//!   differential and scheduler suites.
+//! * [`bench`] — a wall-clock bench harness (warmup + N iterations,
+//!   median/p95, machine-readable JSON output) replacing `criterion`
+//!   for the `ilpc-bench` targets.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use rng::TestRng;

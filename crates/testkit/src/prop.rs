@@ -1,0 +1,363 @@
+//! Minimal property-testing framework (in-tree `proptest` replacement).
+//!
+//! ## Model
+//!
+//! A property is a closure `Fn(&mut Source) -> Result<(), String>`. The
+//! [`Source`] is a stream of 64-bit *choices*: during generation it draws
+//! from a seeded [`TestRng`] and records every draw; during shrinking the
+//! recorded sequence is mutated (truncated, chunk-deleted, values reduced
+//! toward zero) and the property is *replayed* against the mutated
+//! sequence. Because every generator maps choice `0` to its minimal value
+//! (range start, minimum length, first alternative), reducing the
+//! sequence reduces the generated input — shrinking works through
+//! arbitrary user combinators, including recursive ones, with no
+//! per-type shrink code (the hypothesis "internal shrinking" idea).
+//!
+//! ## Reporting
+//!
+//! On failure the runner shrinks within a bounded budget, then panics
+//! with the property name, the base seed, the failing case index and the
+//! (minimal) failure message. Runs are deterministic by default; set
+//! `ILPC_PROP_SEED` to explore a different universe and
+//! `ILPC_PROP_CASES` to scale the case count.
+
+use crate::rng::{splitmix64, TestRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Base seed; per-case seeds are derived from it.
+    pub seed: u64,
+    /// Maximum number of candidate replays during shrinking.
+    pub max_shrink_iters: u32,
+}
+
+impl Config {
+    /// `cases` random cases with the default (deterministic) seed, both
+    /// overridable via `ILPC_PROP_CASES` / `ILPC_PROP_SEED`.
+    pub fn cases(cases: u32) -> Config {
+        let cases = std::env::var("ILPC_PROP_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(cases);
+        let seed = std::env::var("ILPC_PROP_SEED")
+            .ok()
+            .and_then(|v| u64::from_str_radix(v.trim_start_matches("0x"), 16).ok())
+            .unwrap_or(0x1CE_C0DE);
+        Config { cases, seed, max_shrink_iters: 512 }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config::cases(256)
+    }
+}
+
+/// A recorded/replayed stream of choices that generators draw from.
+pub struct Source {
+    /// Recorded draws (generation) or the sequence under replay.
+    choices: Vec<u64>,
+    /// Replay cursor; unused during generation.
+    pos: usize,
+    /// `Some` while generating fresh cases, `None` while replaying.
+    rng: Option<TestRng>,
+}
+
+impl Source {
+    fn random(seed: u64) -> Source {
+        Source { choices: Vec::new(), pos: 0, rng: Some(TestRng::seed_from_u64(seed)) }
+    }
+
+    fn replay(choices: &[u64]) -> Source {
+        Source { choices: choices.to_vec(), pos: 0, rng: None }
+    }
+
+    /// Next raw choice. Replays past the end of a (shrunk) sequence
+    /// yield `0`, i.e. every generator's minimal value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        match &mut self.rng {
+            Some(rng) => {
+                let v = rng.next_u64();
+                self.choices.push(v);
+                v
+            }
+            None => {
+                let v = self.choices.get(self.pos).copied().unwrap_or(0);
+                self.pos += 1;
+                v
+            }
+        }
+    }
+
+    /// Uniform `i64` in `[lo, hi)`; choice 0 maps to `lo`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add((self.next_u64() % span) as i64)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_i64(lo as i64, hi as i64) as usize
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_i64(lo as i64, hi as i64) as u32
+    }
+
+    /// Uniform `f64` in `[lo, hi)`; choice 0 maps to `lo`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range");
+        lo + (hi - lo) * ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64))
+    }
+
+    /// A bool; choice 0 maps to `false`.
+    pub fn flag(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Pick an alternative index with the given relative weights
+    /// (`prop_oneof!` equivalent); choice 0 maps to alternative 0.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "all weights zero");
+        let mut x = self.next_u64() % total;
+        for (k, &w) in weights.iter().enumerate() {
+            if x < w as u64 {
+                return k;
+            }
+            x -= w as u64;
+        }
+        unreachable!()
+    }
+
+    /// A vector of `lo..hi` (half-open) elements from `g`; the length is
+    /// drawn first so shrinking the sequence shortens the vector.
+    pub fn vec_of<T>(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        mut g: impl FnMut(&mut Source) -> T,
+    ) -> Vec<T> {
+        let n = self.range_usize(lo, hi);
+        (0..n).map(|_| g(self)).collect()
+    }
+}
+
+/// Run `prop` against one choice sequence, converting panics to `Err`.
+fn run_replay<F>(prop: &F, choices: &[u64]) -> Result<(), String>
+where
+    F: Fn(&mut Source) -> Result<(), String>,
+{
+    let mut src = Source::replay(choices);
+    match catch_unwind(AssertUnwindSafe(|| prop(&mut src))) {
+        Ok(r) => r,
+        Err(payload) => Err(panic_message(payload)),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Shrink a failing choice sequence within `budget` replays. Returns the
+/// smallest still-failing sequence found, its failure message, and the
+/// number of replays spent.
+fn shrink<F>(
+    prop: &F,
+    mut best: Vec<u64>,
+    mut best_msg: String,
+    budget: u32,
+) -> (Vec<u64>, String, u32)
+where
+    F: Fn(&mut Source) -> Result<(), String>,
+{
+    let mut spent = 0u32;
+    let try_candidate =
+        |cand: Vec<u64>, best: &mut Vec<u64>, best_msg: &mut String, spent: &mut u32| -> bool {
+            if *spent >= budget || cand == *best {
+                return false;
+            }
+            *spent += 1;
+            if let Err(msg) = run_replay(prop, &cand) {
+                *best = cand;
+                *best_msg = msg;
+                true
+            } else {
+                false
+            }
+        };
+
+    let mut improved = true;
+    while improved && spent < budget {
+        improved = false;
+        // 1. Truncations (aggressive first).
+        for keep in [best.len() / 2, best.len() * 3 / 4, best.len().saturating_sub(1)] {
+            if keep < best.len()
+                && try_candidate(best[..keep].to_vec(), &mut best, &mut best_msg, &mut spent)
+            {
+                improved = true;
+            }
+        }
+        // 2. Chunk deletions.
+        for chunk in [8usize, 4, 2, 1] {
+            let mut k = 0;
+            while k + chunk <= best.len() && spent < budget {
+                let mut cand = best.clone();
+                cand.drain(k..k + chunk);
+                if try_candidate(cand, &mut best, &mut best_msg, &mut spent) {
+                    improved = true;
+                    // best shrank; retry the same position.
+                } else {
+                    k += chunk;
+                }
+            }
+        }
+        // 3. Point reductions toward zero.
+        for k in 0..best.len() {
+            if spent >= budget {
+                break;
+            }
+            let v = best[k];
+            for next in [0u64, v >> 32, v >> 1, v.saturating_sub(1)] {
+                if next >= v {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand[k] = next;
+                if try_candidate(cand, &mut best, &mut best_msg, &mut spent) {
+                    improved = true;
+                    break;
+                }
+            }
+        }
+    }
+    (best, best_msg, spent)
+}
+
+/// Run `prop` for `cfg.cases` random cases; on failure, shrink and panic
+/// with a reproducible report.
+pub fn check<F>(name: &str, cfg: &Config, prop: F)
+where
+    F: Fn(&mut Source) -> Result<(), String>,
+{
+    for case in 0..cfg.cases {
+        let mut st = cfg.seed ^ (case as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        let case_seed = splitmix64(&mut st);
+        let mut src = Source::random(case_seed);
+        let outcome = match catch_unwind(AssertUnwindSafe(|| prop(&mut src))) {
+            Ok(r) => r,
+            Err(payload) => Err(panic_message(payload)),
+        };
+        if let Err(first_msg) = outcome {
+            let choices = std::mem::take(&mut src.choices);
+            let (min_choices, msg, spent) =
+                shrink(&prop, choices, first_msg, cfg.max_shrink_iters);
+            panic!(
+                "property '{name}' failed at case {case}/{} \
+                 (seed {:#x}, case seed {case_seed:#x}):\n  {msg}\n\
+                 minimal failing choice sequence has {} draws \
+                 (after {spent} shrink replays); rerun deterministically \
+                 with ILPC_PROP_SEED={:x} ILPC_PROP_CASES={}",
+                cfg.cases,
+                cfg.seed,
+                min_choices.len(),
+                cfg.seed,
+                cfg.cases,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        check("trivial", &Config::cases(64), |s| {
+            counter.set(counter.get() + 1);
+            let x = s.range_i64(0, 100);
+            if (0..100).contains(&x) {
+                Ok(())
+            } else {
+                Err(format!("out of range: {x}"))
+            }
+        });
+        assert_eq!(counter.get(), 64);
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed_report() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            check("always-fails", &Config::cases(16), |s| {
+                let x = s.range_i64(0, 100);
+                Err(format!("x = {x}"))
+            })
+        }))
+        .unwrap_err();
+        let msg = panic_message(err);
+        assert!(msg.contains("always-fails"), "{msg}");
+        assert!(msg.contains("ILPC_PROP_SEED"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_reduces_vec_to_minimal_counterexample() {
+        // Property: no vector contains an element >= 500. Minimal
+        // counterexample is a single element; shrinking must find a
+        // sequence no longer than (length draw + 1 element draw).
+        let min_len = std::cell::Cell::new(usize::MAX);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            check("vec-bound", &Config::cases(64), |s| {
+                let v = s.vec_of(0, 40, |s| s.range_i64(0, 1000));
+                if v.iter().any(|&x| x >= 500) {
+                    min_len.set(min_len.get().min(v.len()));
+                    Err(format!("bad vec: {v:?}"))
+                } else {
+                    Ok(())
+                }
+            })
+        }))
+        .unwrap_err();
+        let msg = panic_message(err);
+        // The reported minimal sequence: 1 length draw + 1 element draw.
+        assert!(
+            msg.contains("minimal failing choice sequence has 2 draws"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn replay_past_end_yields_minimal_values() {
+        let mut s = Source::replay(&[]);
+        assert_eq!(s.range_i64(-5, 10), -5);
+        assert_eq!(s.range_usize(3, 9), 3);
+        assert_eq!(s.weighted(&[1, 2, 3]), 0);
+        assert!(!s.flag());
+        assert_eq!(s.range_f64(0.5, 1.5), 0.5);
+        assert_eq!(s.vec_of(2, 8, |s| s.range_i64(0, 10)), vec![0, 0]);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut s = Source::random(seed);
+            (s.range_i64(0, 1000), s.range_f64(0.0, 1.0), s.vec_of(0, 10, |s| s.next_u64()))
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+}

@@ -1,0 +1,198 @@
+//! Deterministic, seedable PRNG: SplitMix64 seeding into xoshiro256++.
+//!
+//! This is the workspace's only source of pseudo-randomness. The stream
+//! for a given seed is **pinned forever** by the golden-value test below:
+//! workload input data, and therefore every simulated cycle count in the
+//! paper-reproduction grid, must be bit-identical across platforms,
+//! endianness and compiler versions. Do not change the algorithm without
+//! updating every golden value that depends on it.
+//!
+//! The generator is Blackman & Vigna's xoshiro256++ (public domain), with
+//! the state expanded from a 64-bit seed by SplitMix64 exactly as the
+//! reference implementation recommends — a seed of 0 is fine.
+
+use std::ops::Range;
+
+/// One SplitMix64 step: advances `state` and returns the next output.
+///
+/// Used for seed expansion and for deriving per-case seeds in the
+/// property-test runner; also a perfectly serviceable PRNG on its own.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic xoshiro256++ generator.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed the full 256-bit state from a 64-bit seed via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        let mut st = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ],
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `range` (half-open). Supported element types:
+    /// `f64`, `i64`, `u64`, `u32`, `usize`.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// A half-open range [`TestRng::gen_range`] can sample from.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut TestRng) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl SampleRange for Range<i64> {
+    type Output = i64;
+    fn sample(self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add((rng.next_u64() % span) as i64)
+    }
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Output = u32;
+    fn sample(self, rng: &mut TestRng) -> u32 {
+        rng.gen_range(self.start as u64..self.end as u64) as u32
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.start as u64..self.end as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden values: the first 16 draws for seed 42, pinned so workload
+    /// input data can never drift silently. Regenerate (and audit every
+    /// downstream golden) only if the algorithm deliberately changes.
+    #[test]
+    fn golden_first_16_draws_seed_42() {
+        let mut r = TestRng::seed_from_u64(42);
+        let draws: Vec<u64> = (0..16).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            draws,
+            [
+                0xD076_4D4F_4476_689F,
+                0x519E_4174_576F_3791,
+                0xFBE0_7CFB_0C24_ED8C,
+                0xB37D_9F60_0CD8_35B8,
+                0xCB23_1C38_7484_6A73,
+                0x968D_9F00_4E50_DE7D,
+                0x2017_18FF_221A_3556,
+                0x9AE9_4E07_0ED8_CB46,
+                0x352C_F3DA_F095_CCC7,
+                0xEEEF_D632_19B4_A0D4,
+                0x8F3D_FA98_020E_7942,
+                0xD99B_8E00_792F_360D,
+                0xAE14_E770_5435_9B98,
+                0x11CC_BFBB_3659_0DBD,
+                0x672F_CFD4_EFD0_E0BD,
+                0x8BC6_E858_D050_1168,
+            ]
+        );
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> =
+            (0..8).map({ let mut r = TestRng::seed_from_u64(7); move |_| r.next_u64() }).collect();
+        let b: Vec<u64> =
+            (0..8).map({ let mut r = TestRng::seed_from_u64(7); move |_| r.next_u64() }).collect();
+        let c: Vec<u64> =
+            (0..8).map({ let mut r = TestRng::seed_from_u64(8); move |_| r.next_u64() }).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut r = TestRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.gen_range(0.25..1.75);
+            assert!((0.25..1.75).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn i64_range_stays_in_bounds_and_hits_endpoints() {
+        let mut r = TestRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..10_000 {
+            let x = r.gen_range(-2i64..3);
+            assert!((-2..3).contains(&x), "{x}");
+            seen[(x + 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = TestRng::seed_from_u64(0);
+        let draws: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert!(draws.iter().any(|&d| d != 0));
+    }
+}

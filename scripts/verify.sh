@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Hermetic tier-1 verify: the workspace must build and test from a clean
+# checkout with no network access, and no Cargo.toml may reintroduce an
+# external (non-workspace) dependency.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== dependency denylist =="
+# Inspect every [dependencies] / [dev-dependencies] / [build-dependencies]
+# section: each entry must be a workspace crate (ilpc-*). Anything else is
+# an external dependency and breaks the offline build.
+fail=0
+while IFS= read -r -d '' manifest; do
+  bad=$(awk '
+    /^\[(dependencies|dev-dependencies|build-dependencies)\]$/ { indeps = 1; next }
+    /^\[/ { indeps = 0 }
+    indeps && /^[A-Za-z0-9_-]+[ \t]*[=.]/ {
+      name = $1
+      sub(/[=.].*/, "", name)
+      gsub(/[ \t]/, "", name)
+      if (name !~ /^ilpc-/) print name
+    }
+  ' "$manifest")
+  if [ -n "$bad" ]; then
+    echo "ERROR: external dependency in $manifest:"
+    echo "$bad" | sed 's/^/    /'
+    fail=1
+  fi
+done < <(find . -name Cargo.toml -not -path "./target/*" -print0)
+if [ "$fail" -ne 0 ]; then
+  echo "the workspace must stay dependency-free (see README 'Hermetic build')"
+  exit 1
+fi
+echo "ok: all Cargo.toml dependencies are workspace-local (ilpc-*)"
+
+echo "== offline release build =="
+cargo build --release --offline
+
+echo "== offline workspace check (incl. benches) =="
+cargo check --workspace --all-targets --offline
+
+echo "== offline test suite =="
+cargo test -q --offline
+
+echo "verify: OK"

@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) over the whole compiler.
+//! Property-based tests (ilpc-testkit `prop`) over the whole compiler.
 //!
 //! The strongest property available is *differential correctness*: for a
 //! randomly generated mini-FORTRAN program, the simulated result of the
@@ -10,7 +10,10 @@
 
 use ilp_compiler::prelude::*;
 use ilpc_ir::ast::{ArrId, VarId};
-use proptest::prelude::*;
+use ilpc_testkit::prop::{check, Config, Source};
+
+/// Case count per property — matches the proptest originals.
+const CASES: u32 = 48;
 
 /// A recipe for one random statement in the loop body.
 #[derive(Debug, Clone)]
@@ -37,33 +40,48 @@ enum ExprKind {
     DivC(Box<ExprKind>, i32),
 }
 
-fn expr_strategy() -> impl Strategy<Value = ExprKind> {
-    let leaf = prop_oneof![
-        (0usize..3, -2i64..3).prop_map(|(src, off)| ExprKind::Load { src, off }),
-        (1i32..9).prop_map(ExprKind::Const),
-    ];
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ExprKind::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ExprKind::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ExprKind::Mul(Box::new(a), Box::new(b))),
-            (inner, 2i32..9).prop_map(|(a, c)| ExprKind::DivC(Box::new(a), c)),
-        ]
-    })
+/// Random expression tree of depth at most `depth` (leaves at depth 0;
+/// the choice-0 alternative is a leaf, so shrinking collapses trees).
+fn gen_expr(s: &mut Source, depth: u32) -> ExprKind {
+    let leaf = depth == 0 || s.weighted(&[2, 3]) == 0;
+    if leaf {
+        match s.weighted(&[1, 1]) {
+            0 => ExprKind::Load { src: s.range_usize(0, 3), off: s.range_i64(-2, 3) },
+            _ => ExprKind::Const(s.range_i64(1, 9) as i32),
+        }
+    } else {
+        match s.weighted(&[1, 1, 1, 1]) {
+            0 => ExprKind::Add(
+                Box::new(gen_expr(s, depth - 1)),
+                Box::new(gen_expr(s, depth - 1)),
+            ),
+            1 => ExprKind::Sub(
+                Box::new(gen_expr(s, depth - 1)),
+                Box::new(gen_expr(s, depth - 1)),
+            ),
+            2 => ExprKind::Mul(
+                Box::new(gen_expr(s, depth - 1)),
+                Box::new(gen_expr(s, depth - 1)),
+            ),
+            _ => ExprKind::DivC(
+                Box::new(gen_expr(s, depth - 1)),
+                s.range_i64(2, 9) as i32,
+            ),
+        }
+    }
 }
 
-fn stmt_strategy() -> impl Strategy<Value = StmtKind> {
-    prop_oneof![
-        4 => (0usize..2, 0i64..3, expr_strategy())
-            .prop_map(|(dst, off, expr)| StmtKind::Store { dst, off, expr }),
-        2 => (0usize..2, expr_strategy())
-            .prop_map(|(acc, expr)| StmtKind::Accum { acc, expr }),
-        1 => (0usize..3).prop_map(|src| StmtKind::Search { src }),
-        1 => expr_strategy().prop_map(|expr| StmtKind::Recur { expr }),
-    ]
+fn gen_stmt(s: &mut Source) -> StmtKind {
+    match s.weighted(&[4, 2, 1, 1]) {
+        0 => StmtKind::Store {
+            dst: s.range_usize(0, 2),
+            off: s.range_i64(0, 3),
+            expr: gen_expr(s, 4),
+        },
+        1 => StmtKind::Accum { acc: s.range_usize(0, 2), expr: gen_expr(s, 4) },
+        2 => StmtKind::Search { src: s.range_usize(0, 3) },
+        _ => StmtKind::Recur { expr: gen_expr(s, 4) },
+    }
 }
 
 /// Materialize a recipe as a `Program` plus data.
@@ -155,35 +173,29 @@ fn materialize(stmts: &[StmtKind], n: i64) -> (Program, DataInit) {
     (p, init)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        ..ProptestConfig::default()
-    })]
-
-    /// Random programs compile and simulate to the interpreter's result at
-    /// every level on issue-8.
-    #[test]
-    fn random_programs_differential(
-        stmts in prop::collection::vec(stmt_strategy(), 1..6),
-        n in 3i64..40,
-    ) {
+/// Random programs compile and simulate to the interpreter's result at
+/// every level on issue-8.
+#[test]
+fn random_programs_differential() {
+    check("random_programs_differential", &Config::cases(CASES), |s| {
+        let stmts = s.vec_of(1, 6, gen_stmt);
+        let n = s.range_i64(3, 40);
         let (program, init) = materialize(&stmts, n);
-        let w = Workload {
-            meta: table2()[0].clone(),
-            program,
-            init,
-        };
+        let w = Workload { meta: table2()[0].clone(), program, init };
         for level in [Level::Conv, Level::Lev2, Level::Lev4] {
             evaluate(&w, level, &Machine::issue(8))
-                .unwrap_or_else(|e| panic!("{level}: {e}\nstmts: {stmts:#?}"));
+                .map_err(|e| format!("{level}: {e}\nstmts: {stmts:#?}"))?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Every runtime trip count (including those not divisible by the
-    /// unroll factor) survives preconditioned unrolling.
-    #[test]
-    fn trip_counts_exhaustive(n in 1i64..36) {
+/// Every runtime trip count (including those not divisible by the
+/// unroll factor) survives preconditioned unrolling.
+#[test]
+fn trip_counts_exhaustive() {
+    check("trip_counts_exhaustive", &Config::cases(CASES), |s| {
+        let n = s.range_i64(1, 36);
         let (program, init) = materialize(
             &[StmtKind::Accum {
                 acc: 0,
@@ -194,13 +206,18 @@ proptest! {
         let w = Workload { meta: table2()[0].clone(), program, init };
         for level in [Level::Lev1, Level::Lev4] {
             evaluate(&w, level, &Machine::issue(4))
-                .unwrap_or_else(|e| panic!("n={n} {level}: {e}"));
+                .map_err(|e| format!("n={n} {level}: {e}"))?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Integer multiply strength reduction is exact for arbitrary operands.
-    #[test]
-    fn strength_reduction_semantics(c in -20i64..20, xs in prop::collection::vec(-1000i64..1000, 4)) {
+/// Integer multiply strength reduction is exact for arbitrary operands.
+#[test]
+fn strength_reduction_semantics() {
+    check("strength_reduction_semantics", &Config::cases(CASES), |s| {
+        let c = s.range_i64(-20, 20);
+        let xs = s.vec_of(4, 5, |s| s.range_i64(-1000, 1000));
         let mut p = Program::new("sr");
         let a = p.int_arr("A", 8);
         let d = p.int_arr("D", 8);
@@ -220,6 +237,7 @@ proptest! {
         let init = DataInit::new().with_array(a, ArrayVal::I(data));
         let w = Workload { meta: table2()[0].clone(), program: p, init };
         evaluate(&w, Level::Lev3, &Machine::issue(8))
-            .unwrap_or_else(|e| panic!("c={c}: {e}"));
-    }
+            .map_err(|e| format!("c={c} xs={xs:?}: {e}"))?;
+        Ok(())
+    });
 }

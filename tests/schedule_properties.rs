@@ -8,7 +8,10 @@ use ilp_compiler::machine::Machine;
 use ilp_compiler::sched::{schedule_insts, validate_schedule};
 use ilpc_ir::inst::{Inst, MemLoc};
 use ilpc_ir::{BlockId, Cond, Opcode, Operand, Reg, SymId};
-use proptest::prelude::*;
+use ilpc_testkit::prop::{check, Config, Source};
+
+/// Case count per property — matches the proptest originals.
+const CASES: u32 = 256;
 
 /// A recipe for one random instruction over a small register pool.
 #[derive(Debug, Clone)]
@@ -20,19 +23,36 @@ enum InstKind {
     Branch { cond: u8, a: u8, b: u8 },
 }
 
-fn inst_strategy() -> impl Strategy<Value = InstKind> {
-    prop_oneof![
-        4 => (0u8..4, 0u8..6, 0u8..6, 0u8..6)
-            .prop_map(|(op, dst, a, b)| InstKind::IntAlu { op, dst, a, b }),
-        4 => (0u8..4, 0u8..6, 0u8..6, 0u8..6)
-            .prop_map(|(op, dst, a, b)| InstKind::Flt { op, dst, a, b }),
-        3 => (0u8..6, 0u8..2, -4i8..8)
-            .prop_map(|(dst, sym, off)| InstKind::Load { dst, sym, off }),
-        2 => (0u8..6, 0u8..2, -4i8..8)
-            .prop_map(|(val, sym, off)| InstKind::Store { val, sym, off }),
-        1 => (0u8..4, 0u8..6, 0u8..6)
-            .prop_map(|(cond, a, b)| InstKind::Branch { cond, a, b }),
-    ]
+fn gen_inst(s: &mut Source) -> InstKind {
+    match s.weighted(&[4, 4, 3, 2, 1]) {
+        0 => InstKind::IntAlu {
+            op: s.range_i64(0, 4) as u8,
+            dst: s.range_i64(0, 6) as u8,
+            a: s.range_i64(0, 6) as u8,
+            b: s.range_i64(0, 6) as u8,
+        },
+        1 => InstKind::Flt {
+            op: s.range_i64(0, 4) as u8,
+            dst: s.range_i64(0, 6) as u8,
+            a: s.range_i64(0, 6) as u8,
+            b: s.range_i64(0, 6) as u8,
+        },
+        2 => InstKind::Load {
+            dst: s.range_i64(0, 6) as u8,
+            sym: s.range_i64(0, 2) as u8,
+            off: s.range_i64(-4, 8) as i8,
+        },
+        3 => InstKind::Store {
+            val: s.range_i64(0, 6) as u8,
+            sym: s.range_i64(0, 2) as u8,
+            off: s.range_i64(-4, 8) as i8,
+        },
+        _ => InstKind::Branch {
+            cond: s.range_i64(0, 4) as u8,
+            a: s.range_i64(0, 6) as u8,
+            b: s.range_i64(0, 6) as u8,
+        },
+    }
 }
 
 fn materialize(kinds: &[InstKind]) -> Vec<Inst> {
@@ -76,18 +96,18 @@ fn materialize(kinds: &[InstKind]) -> Vec<Inst> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+#[test]
+fn random_schedules_validate() {
+    check("random_schedules_validate", &Config::cases(CASES), |s| {
+        let kinds = s.vec_of(1, 40, gen_inst);
+        let width = s.range_u32(1, 10);
+        let branch_slots = s.range_u32(1, 3);
+        let mem_ports =
+            if s.flag() { u32::MAX } else { s.range_u32(1, 4) };
+        let fp_units =
+            if s.flag() { u32::MAX } else { s.range_u32(1, 4) };
+        let spec_loads = s.flag();
 
-    #[test]
-    fn random_schedules_validate(
-        kinds in prop::collection::vec(inst_strategy(), 1..40),
-        width in 1u32..10,
-        branch_slots in 1u32..3,
-        mem_ports in prop_oneof![Just(u32::MAX), (1u32..4).prop_map(|x| x)],
-        fp_units in prop_oneof![Just(u32::MAX), (1u32..4).prop_map(|x| x)],
-        spec_loads in any::<bool>(),
-    ) {
         let insts = materialize(&kinds);
         let mut machine = Machine::issue(width);
         machine.branch_slots = branch_slots;
@@ -103,26 +123,41 @@ proptest! {
         let sched = schedule_insts(&insts, &machine, &|_| {
             ilp_compiler::analysis::RegSet::new()
         });
-        validate_schedule(&insts, &sched, &machine, &can_cross)
-            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
-    }
+        validate_schedule(&insts, &sched, &machine, &can_cross).map_err(|e| {
+            format!(
+                "{e}\nwidth={width} branch_slots={branch_slots} \
+                 mem_ports={mem_ports} fp_units={fp_units} \
+                 spec_loads={spec_loads}\nkinds: {kinds:#?}"
+            )
+        })
+    });
+}
 
-    /// The schedule never regresses: makespan under a wider machine is at
-    /// most the makespan under a narrower one.
-    #[test]
-    fn wider_machines_never_lengthen_schedules(
-        kinds in prop::collection::vec(inst_strategy(), 1..30),
-    ) {
-        let insts = materialize(&kinds);
-        let mut prev = u32::MAX;
-        for width in [1u32, 2, 4, 8, 16] {
-            let m = Machine::issue(width);
-            let s = schedule_insts(&insts, &m, &|_| {
-                ilp_compiler::analysis::RegSet::new()
-            });
-            let len = s.length();
-            prop_assert!(len <= prev, "width {width}: {len} > {prev}");
-            prev = len;
-        }
-    }
+/// The schedule never regresses: makespan under a wider machine is at
+/// most the makespan under a narrower one.
+#[test]
+fn wider_machines_never_lengthen_schedules() {
+    check(
+        "wider_machines_never_lengthen_schedules",
+        &Config::cases(CASES),
+        |s| {
+            let kinds = s.vec_of(1, 30, gen_inst);
+            let insts = materialize(&kinds);
+            let mut prev = u32::MAX;
+            for width in [1u32, 2, 4, 8, 16] {
+                let m = Machine::issue(width);
+                let sched = schedule_insts(&insts, &m, &|_| {
+                    ilp_compiler::analysis::RegSet::new()
+                });
+                let len = sched.length();
+                if len > prev {
+                    return Err(format!(
+                        "width {width}: {len} > {prev}\nkinds: {kinds:#?}"
+                    ));
+                }
+                prev = len;
+            }
+            Ok(())
+        },
+    );
 }
