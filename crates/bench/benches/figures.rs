@@ -76,6 +76,7 @@ fn bench_grid_rebuild(h: &mut Harness) {
             levels: Level::ALL.to_vec(),
             widths: vec![1, 8],
             threads: 4,
+            ..GridConfig::default()
         });
         assert!(grid.errors.is_empty());
         grid

@@ -1,0 +1,84 @@
+//! Perf-trajectory bench: end-to-end evaluation-grid wall time and
+//! simulator throughput in *simulated cycles per second*.
+//!
+//! ```text
+//! cargo bench -p ilpc-bench --bench grid
+//! ```
+//!
+//! Writes `BENCH_grid.json` at the **repository root** (the cwd is pinned
+//! there regardless of how cargo invokes the target), so successive
+//! commits can diff the same file: `grid/wall` tracks the wall time of a
+//! reduced 40-workload grid, and the `*/sim_cycles` entries track raw
+//! simulator throughput (elems = simulated cycles, so `Melem/s` reads as
+//! simulated Mcycles/s).
+
+use ilpc_core::level::Level;
+use ilpc_harness::compile::compile;
+use ilpc_harness::grid::{run_grid, GridConfig};
+use ilpc_machine::{CacheParams, Machine, MemConfig};
+use ilpc_sim::{memory_from_init, simulate};
+use ilpc_testkit::bench::Harness;
+use ilpc_workloads::{build, table2};
+
+fn bench_grid_wall(h: &mut Harness) {
+    // A reduced but representative grid: all levels, the two widths that
+    // bracket the paper's sweep, 40 workloads.
+    let cfg = GridConfig {
+        scale: 0.05,
+        levels: Level::ALL.to_vec(),
+        widths: vec![1, 8],
+        threads: 4,
+        ..GridConfig::default()
+    };
+    let mut cycles_per_run = 0u64;
+    h.bench_n("grid/wall", 5, || {
+        let grid = run_grid(&cfg);
+        assert!(grid.errors.is_empty(), "{:#?}", grid.errors);
+        cycles_per_run = 0;
+        for m in &grid.meta {
+            for &level in &cfg.levels {
+                for &width in &cfg.widths {
+                    cycles_per_run += grid.point(m.name, level, width).unwrap().cycles;
+                }
+            }
+        }
+        cycles_per_run
+    });
+    println!("grid/wall simulates {cycles_per_run} cycles per run");
+}
+
+fn bench_sim_throughput(h: &mut Harness) {
+    // Raw simulator throughput, perfect memory vs a finite cache — the
+    // per-access model cost is the hot-path regression to watch.
+    let meta = table2().into_iter().find(|m| m.name == "NAS-3").unwrap();
+    let w = build(&meta, 0.25);
+    for (tag, machine) in [
+        ("perfect", Machine::issue(8)),
+        ("cached", Machine::issue(8).with_cache(CacheParams::small())),
+    ] {
+        let compiled = compile(&w, Level::Lev4, &machine);
+        let mem = memory_from_init(&compiled.module.symtab, &w.init);
+        let cycles = simulate(&compiled.module, &machine, mem.clone(), u64::MAX)
+            .unwrap()
+            .cycles;
+        h.bench_elems(&format!("{tag}/sim_cycles"), cycles, || {
+            simulate(&compiled.module, &machine, mem.clone(), u64::MAX).unwrap()
+        });
+    }
+    // Make sure the cached machine really differs from the perfect one.
+    assert!(!matches!(
+        Machine::issue(8).with_cache(CacheParams::small()).mem,
+        MemConfig::Perfect
+    ));
+}
+
+fn main() {
+    // Pin the output location: BENCH_grid.json always lands at the repo
+    // root, not wherever cargo happens to set the cwd.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    std::env::set_current_dir(root).expect("chdir to repo root");
+    let mut h = Harness::new("grid");
+    bench_grid_wall(&mut h);
+    bench_sim_throughput(&mut h);
+    h.finish();
+}

@@ -1,1 +1,6 @@
-//! Criterion benches live in `benches/`; see crate README.
+//! Wall-clock benches live in `benches/`, built on the vendored
+//! `ilpc-testkit` harness (`ilpc_testkit::bench`; criterion was dropped
+//! when the build went hermetic). Each `harness = false` target prints a
+//! summary table and writes machine-readable `BENCH_<name>.json`; the
+//! `grid` target pins its output to the repository root so the perf
+//! trajectory (`BENCH_grid.json`) is comparable across commits.

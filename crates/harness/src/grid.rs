@@ -7,7 +7,8 @@
 
 use crate::run::{evaluate, EvalPoint};
 use ilpc_core::level::Level;
-use ilpc_machine::Machine;
+use ilpc_machine::{Machine, MemConfig};
+use ilpc_mem::MemStats;
 use ilpc_workloads::{build_all, Workload, WorkloadMeta};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -24,6 +25,9 @@ pub struct GridConfig {
     pub widths: Vec<u32>,
     /// Worker threads.
     pub threads: usize,
+    /// Memory hierarchy applied to every machine in the grid (perfect by
+    /// default — the paper's model).
+    pub mem: MemConfig,
 }
 
 impl Default for GridConfig {
@@ -35,6 +39,7 @@ impl Default for GridConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            mem: MemConfig::Perfect,
         }
     }
 }
@@ -82,6 +87,32 @@ impl Grid {
         } else {
             sum / n as f64
         }
+    }
+
+    /// Aggregate memory-hierarchy counters over a subset of loops.
+    pub fn mem_stats<'a>(
+        &self,
+        names: impl Iterator<Item = &'a str>,
+        level: Level,
+        width: u32,
+    ) -> MemStats {
+        let mut sum = MemStats::default();
+        for name in names {
+            if let Some(p) = self.point(name, level, width) {
+                sum.merge(&p.mem);
+            }
+        }
+        sum
+    }
+
+    /// Aggregate L1 hit rate over a subset of loops (1.0 when perfect).
+    pub fn hit_rate<'a>(
+        &self,
+        names: impl Iterator<Item = &'a str>,
+        level: Level,
+        width: u32,
+    ) -> f64 {
+        self.mem_stats(names, level, width).hit_rate()
     }
 
     /// Mean total register usage over a subset of loops.
@@ -137,7 +168,7 @@ pub fn run_grid(cfg: &GridConfig) -> Grid {
                     }
                     let (wi, level, width) = items[k];
                     let w = &workloads[wi];
-                    let r = evaluate(w, level, &Machine::issue(width));
+                    let r = evaluate(w, level, &Machine::issue(width).with_mem(cfg.mem));
                     local.push(((w.meta.name.to_string(), level, width), r));
                 }
                 results.lock().unwrap().extend(local);
@@ -171,6 +202,7 @@ mod tests {
             levels: vec![Level::Conv, Level::Lev2],
             widths: vec![1, 8],
             threads: 4,
+            mem: MemConfig::Perfect,
         };
         let grid = run_grid(&cfg);
         assert!(grid.errors.is_empty(), "{:#?}", grid.errors);
@@ -195,5 +227,44 @@ mod tests {
             .filter(|m| grid.speedup(m.name, Level::Lev2, 8).unwrap() > 1.5)
             .count();
         assert!(fast >= 10, "only {fast} DOALL loops sped up");
+        // Perfect memory: every access a hit on every point.
+        let stats = grid.mem_stats(grid.meta.iter().map(|m| m.name), Level::Lev2, 8);
+        assert!(stats.accesses() > 0);
+        assert_eq!(stats.misses(), 0);
+        assert_eq!(grid.hit_rate(grid.meta.iter().map(|m| m.name), Level::Lev2, 8), 1.0);
+    }
+
+    /// The grid under a finite cache: still differentially correct, with
+    /// consistent per-point cache statistics.
+    #[test]
+    fn cached_mini_grid_is_correct_with_consistent_stats() {
+        use ilpc_machine::CacheParams;
+        let cfg = GridConfig {
+            scale: 0.02,
+            levels: vec![Level::Conv, Level::Lev4],
+            widths: vec![1, 8],
+            threads: 4,
+            mem: MemConfig::Cache(CacheParams::small()),
+        };
+        let grid = run_grid(&cfg);
+        assert!(grid.errors.is_empty(), "{:#?}", grid.errors);
+        let mut missed_somewhere = false;
+        for m in &grid.meta {
+            for level in [Level::Conv, Level::Lev4] {
+                for width in [1u32, 8] {
+                    let p = grid.point(m.name, level, width).unwrap();
+                    let s = &p.mem;
+                    assert_eq!(
+                        s.accesses(),
+                        s.hits() + s.misses(),
+                        "{} {level} issue-{width}",
+                        m.name
+                    );
+                    assert!(s.accesses() > 0, "{} executes no memory ops?", m.name);
+                    missed_somewhere |= s.misses() > 0;
+                }
+            }
+        }
+        assert!(missed_somewhere, "a 1 KiB cache must miss somewhere");
     }
 }

@@ -7,6 +7,7 @@ use ilpc_ir::interp::interpret;
 use ilpc_ir::value::{ArrayVal, Value};
 use ilpc_ir::SymId;
 use ilpc_machine::Machine;
+use ilpc_mem::MemStats;
 use ilpc_regalloc::RegUsage;
 use ilpc_sim::{memory_from_init, read_symbol, simulate};
 use ilpc_workloads::Workload;
@@ -31,6 +32,8 @@ pub struct EvalPoint {
     pub dyn_insts: u64,
     pub regs: RegUsage,
     pub static_insts: usize,
+    /// Memory-hierarchy statistics (all hits under perfect memory).
+    pub mem: MemStats,
 }
 
 /// Simulate `compiled` and check its results against the interpreter.
@@ -82,6 +85,7 @@ pub fn run_compiled(
         dyn_insts: res.dyn_insts,
         regs: compiled.regs,
         static_insts: compiled.static_insts,
+        mem: res.mem,
     })
 }
 

@@ -8,6 +8,7 @@
 //! register supply.
 
 use ilpc_ir::{Inst, Opcode};
+pub use ilpc_mem::{CacheGeometry, CacheParams, L2Params, MemConfig};
 
 /// Instruction latencies — the paper's Table 1.
 ///
@@ -160,6 +161,10 @@ pub struct Machine {
     pub latency: LatencyTable,
     /// Non-excepting loads: the compiler may hoist loads above branches.
     pub nonexcepting_loads: bool,
+    /// Data-memory hierarchy. The default, [`MemConfig::Perfect`], is the
+    /// paper's 100 %-hit model and adds zero cycles to any access; a
+    /// finite cache charges extra miss cycles on top of Table-1 latencies.
+    pub mem: MemConfig,
 }
 
 impl Machine {
@@ -172,6 +177,7 @@ impl Machine {
             fu: FuLimits::UNLIMITED,
             latency: TABLE1,
             nonexcepting_loads: true,
+            mem: MemConfig::Perfect,
         }
     }
 
@@ -191,6 +197,17 @@ impl Machine {
     pub fn with_mul_units(mut self, units: u32) -> Machine {
         self.fu.int_mul_div = units;
         self
+    }
+
+    /// Replace the memory hierarchy (default: [`MemConfig::Perfect`]).
+    pub fn with_mem(mut self, mem: MemConfig) -> Machine {
+        self.mem = mem;
+        self
+    }
+
+    /// Attach a finite L1 data cache (see [`CacheParams`]).
+    pub fn with_cache(self, params: CacheParams) -> Machine {
+        self.with_mem(MemConfig::Cache(params))
     }
 
     /// Unlimited-issue configuration (used by the worked examples in §2).
@@ -219,6 +236,9 @@ impl Machine {
         }
         if self.fu.int_mul_div != u32::MAX {
             n.push_str(&format!("/mul{}", self.fu.int_mul_div));
+        }
+        if !self.mem.is_perfect() {
+            n.push_str(&format!("/{}", self.mem.name()));
         }
         n
     }
@@ -275,5 +295,19 @@ mod tests {
         assert_eq!(Machine::base().issue_width, 1);
         assert_eq!(Machine::issue(8).branch_slots, 1);
         assert!(Machine::issue(2).nonexcepting_loads);
+    }
+
+    #[test]
+    fn memory_hierarchy_defaults_to_perfect() {
+        let m = Machine::issue(8);
+        assert_eq!(m.mem, MemConfig::Perfect);
+        assert!(m.mem.is_perfect());
+        let cached = m.with_cache(CacheParams::small());
+        assert!(!cached.mem.is_perfect());
+        assert_eq!(cached.name(), "issue-8/L1:4x16x2/m30");
+        // Everything else is untouched by the memory swap.
+        assert_eq!(cached.issue_width, m.issue_width);
+        assert_eq!(cached.latency, m.latency);
+        assert_eq!(cached.with_mem(MemConfig::perfect()), m);
     }
 }

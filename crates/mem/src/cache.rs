@@ -1,0 +1,413 @@
+//! Set-associative write-back, write-allocate cache model (L1 + optional
+//! unified L2), LRU replacement, deterministic by construction.
+//!
+//! Geometry is given in *words* (the simulator's memory is word-addressed):
+//! a line of `line_words = 4` is 32 bytes on a 64-bit machine. All geometry
+//! fields are normalized to powers of two and clamped to at least 1 — a
+//! "zero-way" or "zero-set" cache is meaningless, not a crash.
+
+use crate::stats::MemStats;
+use crate::{Access, MemModel};
+
+/// Geometry of one cache level: `line_words × sets × ways`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Words per line (rounded up to a power of two, min 1).
+    pub line_words: u32,
+    /// Number of sets (rounded up to a power of two, min 1).
+    pub sets: u32,
+    /// Associativity (clamped to min 1 — the "zero-way clamp").
+    pub ways: u32,
+}
+
+impl CacheGeometry {
+    pub fn new(line_words: u32, sets: u32, ways: u32) -> CacheGeometry {
+        CacheGeometry { line_words, sets, ways }
+    }
+
+    /// Power-of-two / non-zero normalization applied before use.
+    pub fn normalized(self) -> CacheGeometry {
+        CacheGeometry {
+            line_words: self.line_words.max(1).next_power_of_two(),
+            sets: self.sets.max(1).next_power_of_two(),
+            ways: self.ways.max(1),
+        }
+    }
+
+    /// Total capacity in words (after normalization).
+    pub fn size_words(&self) -> u64 {
+        let g = self.normalized();
+        g.line_words as u64 * g.sets as u64 * g.ways as u64
+    }
+}
+
+/// Parameters for [`CacheMem`]: L1 geometry, miss latencies, optional L2.
+///
+/// Miss latencies are the *extra* cycles an access stalls beyond its
+/// pipeline latency when serviced from main memory. An access that misses
+/// L1 but hits a configured L2 pays [`L2Params::hit_latency`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    pub l1: CacheGeometry,
+    /// Extra cycles for a load serviced from memory.
+    pub load_miss_latency: u32,
+    /// Extra cycles for a store serviced from memory (write-allocate).
+    pub store_miss_latency: u32,
+    /// Optional unified second-level cache.
+    pub l2: Option<L2Params>,
+}
+
+/// Unified L2: geometry plus the (cheaper) L1-miss/L2-hit latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Params {
+    pub geom: CacheGeometry,
+    /// Extra cycles for an access that misses L1 but hits L2.
+    pub hit_latency: u32,
+}
+
+impl CacheParams {
+    pub fn new(
+        line_words: u32,
+        sets: u32,
+        ways: u32,
+        load_miss_latency: u32,
+        store_miss_latency: u32,
+    ) -> CacheParams {
+        CacheParams {
+            l1: CacheGeometry::new(line_words, sets, ways),
+            load_miss_latency,
+            store_miss_latency,
+            l2: None,
+        }
+    }
+
+    /// Add a unified L2 behind the L1.
+    pub fn with_l2(mut self, line_words: u32, sets: u32, ways: u32, hit_latency: u32) -> CacheParams {
+        self.l2 = Some(L2Params { geom: CacheGeometry::new(line_words, sets, ways), hit_latency });
+        self
+    }
+
+    /// A small L1: 4-word lines × 16 sets × 2 ways = 128 words (1 KiB),
+    /// 30-cycle load miss / 10-cycle store miss.
+    pub fn small() -> CacheParams {
+        CacheParams::new(4, 16, 2, 30, 10)
+    }
+
+    /// Short display name (`L1:4x16x2/m30` or `...+L2:8x64x4/h8`).
+    pub fn name(&self) -> String {
+        let g = self.l1.normalized();
+        let mut n = format!("L1:{}x{}x{}/m{}", g.line_words, g.sets, g.ways, self.load_miss_latency);
+        if let Some(l2) = self.l2 {
+            let g2 = l2.geom.normalized();
+            n.push_str(&format!("+L2:{}x{}x{}/h{}", g2.line_words, g2.sets, g2.ways, l2.hit_latency));
+        }
+        n
+    }
+}
+
+/// One cache line's bookkeeping (the model stores no data — the simulator's
+/// flat memory is always architecturally current).
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    /// Full line address (`word_addr >> line_shift`) — unambiguous tag.
+    tag: u64,
+    /// Monotone last-use tick for LRU.
+    lru: u64,
+}
+
+/// What one level did with an access.
+struct Fill {
+    hit: bool,
+    /// A valid line was displaced by the fill.
+    evicted: bool,
+    /// The displaced line was dirty (write-back traffic).
+    writeback: bool,
+}
+
+/// One set-associative level.
+#[derive(Debug, Clone)]
+struct Level {
+    line_shift: u32,
+    set_mask: u64,
+    ways: usize,
+    lines: Vec<Line>,
+    tick: u64,
+}
+
+impl Level {
+    fn new(geom: CacheGeometry) -> Level {
+        let g = geom.normalized();
+        Level {
+            line_shift: g.line_words.trailing_zeros(),
+            set_mask: (g.sets - 1) as u64,
+            ways: g.ways as usize,
+            lines: vec![Line::default(); (g.sets * g.ways) as usize],
+            tick: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.lines.fill(Line::default());
+        self.tick = 0;
+    }
+
+    /// Probe for `addr`; on miss, allocate (write-allocate) via LRU.
+    fn access(&mut self, addr: u64, dirty: bool) -> Fill {
+        self.tick += 1;
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr & self.set_mask) as usize;
+        let slots = &mut self.lines[set * self.ways..(set + 1) * self.ways];
+        if let Some(l) = slots.iter_mut().find(|l| l.valid && l.tag == line_addr) {
+            l.lru = self.tick;
+            l.dirty |= dirty;
+            return Fill { hit: true, evicted: false, writeback: false };
+        }
+        // Miss: fill the first invalid way, else the least-recently-used.
+        let victim = match slots.iter().position(|l| !l.valid) {
+            Some(k) => k,
+            None => {
+                let (k, _) = slots.iter().enumerate().min_by_key(|(_, l)| l.lru).unwrap();
+                k
+            }
+        };
+        let evicted = slots[victim].valid;
+        let writeback = evicted && slots[victim].dirty;
+        slots[victim] = Line { valid: true, dirty, tag: line_addr, lru: self.tick };
+        Fill { hit: false, evicted, writeback }
+    }
+
+    /// Install a line without a demand access (buffered L1 write-back into
+    /// the L2). Counts as most-recently-used; returns whether a dirty
+    /// victim was displaced to memory.
+    fn install_dirty(&mut self, addr: u64) -> bool {
+        self.access(addr, true).writeback
+    }
+}
+
+/// Set-associative write-back L1 data cache with an optional unified L2.
+#[derive(Debug)]
+pub struct CacheMem {
+    params: CacheParams,
+    l1: Level,
+    l2: Option<Level>,
+    stats: MemStats,
+}
+
+impl CacheMem {
+    pub fn new(params: CacheParams) -> CacheMem {
+        CacheMem {
+            params,
+            l1: Level::new(params.l1),
+            l2: params.l2.map(|p| Level::new(p.geom)),
+            stats: MemStats::default(),
+        }
+    }
+
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+}
+
+impl MemModel for CacheMem {
+    fn access(&mut self, kind: Access, addr: u64) -> u64 {
+        let is_store = kind == Access::Store;
+        match kind {
+            Access::Load => self.stats.loads += 1,
+            Access::Store => self.stats.stores += 1,
+        }
+        let fill = self.l1.access(addr, is_store);
+        if fill.hit {
+            return 0;
+        }
+        match kind {
+            Access::Load => self.stats.load_misses += 1,
+            Access::Store => self.stats.store_misses += 1,
+        }
+        if fill.evicted {
+            self.stats.evictions += 1;
+        }
+        if fill.writeback {
+            self.stats.writebacks += 1;
+        }
+        let memory_latency = if is_store {
+            self.params.store_miss_latency
+        } else {
+            self.params.load_miss_latency
+        } as u64;
+        let extra = match (&mut self.l2, self.params.l2) {
+            (Some(l2), Some(p)) => {
+                self.stats.l2_accesses += 1;
+                // A dirty L1 victim lands in the L2 (buffered, no stall);
+                // if that displaces a dirty L2 line it goes to memory.
+                if fill.writeback && l2.install_dirty(addr) {
+                    self.stats.writebacks += 1;
+                }
+                let f2 = l2.access(addr, false);
+                if f2.hit {
+                    p.hit_latency as u64
+                } else {
+                    self.stats.l2_misses += 1;
+                    if f2.writeback {
+                        self.stats.writebacks += 1;
+                    }
+                    memory_latency
+                }
+            }
+            _ => memory_latency,
+        };
+        self.stats.miss_cycles += extra;
+        extra
+    }
+
+    fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.stats = MemStats::default();
+        self.l1.clear();
+        if let Some(l2) = &mut self.l2 {
+            l2.clear();
+        }
+    }
+
+    fn name(&self) -> String {
+        self.params.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads(c: &mut CacheMem, addrs: &[u64]) -> Vec<u64> {
+        addrs.iter().map(|&a| c.access(Access::Load, a)).collect()
+    }
+
+    #[test]
+    fn cold_miss_then_hits_within_a_line() {
+        // 4-word lines: addr 0..=3 share a line, addr 4 crosses into the
+        // next line (the "line-crossing" edge case).
+        let mut c = CacheMem::new(CacheParams::new(4, 8, 1, 30, 10));
+        assert_eq!(loads(&mut c, &[0, 1, 2, 3, 4]), vec![30, 0, 0, 0, 30]);
+        let s = c.stats();
+        assert_eq!(s.accesses(), 5);
+        assert_eq!(s.misses(), 2);
+        assert_eq!(s.hits(), 3);
+        assert_eq!(s.miss_cycles, 60);
+        assert_eq!(s.accesses(), s.hits() + s.misses());
+    }
+
+    #[test]
+    fn aliasing_sets_conflict_in_direct_mapped() {
+        // Direct-mapped, 8 sets × 4-word lines: addresses 32 words apart
+        // alias to the same set and evict each other forever.
+        let mut c = CacheMem::new(CacheParams::new(4, 8, 1, 30, 10));
+        assert_eq!(loads(&mut c, &[0, 32, 0, 32]), vec![30, 30, 30, 30]);
+        assert_eq!(c.stats().evictions, 3); // all but the cold fill displace
+        // The same pattern in a 2-way cache coexists.
+        let mut c2 = CacheMem::new(CacheParams::new(4, 8, 2, 30, 10));
+        assert_eq!(loads(&mut c2, &[0, 32, 0, 32]), vec![30, 30, 0, 0]);
+        assert_eq!(c2.stats().evictions, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_way() {
+        // 1 set × 2 ways, 1-word lines: A, B fill; touching A makes B the
+        // LRU victim when C arrives; A (recently used) survives, B is gone.
+        let mut c = CacheMem::new(CacheParams::new(1, 1, 2, 30, 10));
+        assert_eq!(loads(&mut c, &[10, 20, 10, 30]), vec![30, 30, 0, 30]);
+        assert_eq!(loads(&mut c, &[10, 20]), vec![0, 30]);
+    }
+
+    #[test]
+    fn zero_geometry_is_clamped_not_a_crash() {
+        let g = CacheGeometry::new(0, 0, 0).normalized();
+        assert_eq!((g.line_words, g.sets, g.ways), (1, 1, 1));
+        let mut c = CacheMem::new(CacheParams::new(0, 0, 0, 5, 5));
+        // A 1×1×1 cache: repeated same-word access hits, alternation misses.
+        assert_eq!(loads(&mut c, &[7, 7, 8, 7]), vec![5, 0, 5, 5]);
+        // Non-power-of-two geometry rounds up.
+        let g = CacheGeometry::new(3, 12, 2).normalized();
+        assert_eq!((g.line_words, g.sets, g.ways), (4, 16, 2));
+        assert_eq!(CacheGeometry::new(3, 12, 2).size_words(), 128);
+    }
+
+    #[test]
+    fn write_back_counts_writebacks_only_for_dirty_victims() {
+        // Direct-mapped 1-set cache: store to A (dirty), load B evicts A
+        // → writeback; load A evicts clean B → eviction, no writeback.
+        let mut c = CacheMem::new(CacheParams::new(1, 1, 1, 30, 10));
+        assert_eq!(c.access(Access::Store, 0), 10); // write-allocate miss
+        assert_eq!(c.access(Access::Load, 1), 30);
+        assert_eq!(c.access(Access::Load, 0), 30);
+        let s = c.stats();
+        assert_eq!(s.store_misses, 1);
+        assert_eq!(s.load_misses, 2);
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.writebacks, 1);
+        // A load hit on a dirty line keeps it dirty.
+        let mut c = CacheMem::new(CacheParams::new(1, 1, 1, 30, 10));
+        c.access(Access::Store, 0);
+        c.access(Access::Load, 0);
+        c.access(Access::Load, 1);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn l2_serves_l1_misses_cheaper_than_memory() {
+        // Tiny L1 (1 line), big L2: the second touch of a line misses L1
+        // (displaced) but hits L2 at the cheaper latency.
+        let p = CacheParams::new(1, 1, 1, 100, 100).with_l2(1, 64, 4, 8);
+        let mut c = CacheMem::new(p);
+        assert_eq!(c.access(Access::Load, 0), 100); // cold: L1 miss, L2 miss
+        assert_eq!(c.access(Access::Load, 1), 100);
+        assert_eq!(c.access(Access::Load, 0), 8); // L1 victim, but L2 hit
+        let s = c.stats();
+        assert_eq!(s.l2_accesses, 3);
+        assert_eq!(s.l2_misses, 2);
+        assert_eq!(s.miss_cycles, 208);
+        assert_eq!(s.accesses(), s.hits() + s.misses());
+    }
+
+    #[test]
+    fn dirty_l1_victim_lands_in_l2() {
+        // Store A (dirty in L1), touch B (displaces A's dirty line into
+        // L2), reload A: L2 hit — the write-back was absorbed, and no
+        // memory writeback happened.
+        let p = CacheParams::new(1, 1, 1, 100, 100).with_l2(1, 64, 4, 8);
+        let mut c = CacheMem::new(p);
+        c.access(Access::Store, 0);
+        c.access(Access::Load, 1);
+        assert_eq!(c.access(Access::Load, 0), 8);
+        assert_eq!(c.stats().writebacks, 1); // L1→L2 transfer counted once
+    }
+
+    #[test]
+    fn reset_clears_contents_and_stats() {
+        let mut c = CacheMem::new(CacheParams::small());
+        loads(&mut c, &[0, 0, 64, 128]);
+        assert!(c.stats().accesses() > 0);
+        c.reset();
+        assert_eq!(c.stats(), MemStats::default());
+        assert_eq!(c.access(Access::Load, 0), 30, "cache is cold again");
+    }
+
+    #[test]
+    fn determinism_same_sequence_same_stats() {
+        let addrs: Vec<u64> = (0..500u64).map(|k| (k * 37) % 271).collect();
+        let run = || {
+            let mut c = CacheMem::new(CacheParams::small().with_l2(8, 32, 2, 6));
+            for (k, &a) in addrs.iter().enumerate() {
+                let kind = if k % 3 == 0 { Access::Store } else { Access::Load };
+                c.access(kind, a);
+            }
+            c.stats()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert_eq!(a.accesses(), a.hits() + a.misses());
+    }
+}

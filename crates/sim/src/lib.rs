@@ -2,12 +2,20 @@
 //!
 //! Models the paper's node processor (§3.1): in-order multi-issue with
 //! register interlocks, deterministic Table-1 latencies, one branch slot per
-//! cycle, non-excepting loads, a 100 % cache hit rate, and a taken-branch
-//! redirect of one cycle. The simulator *executes* the compiled module on
-//! real data — trip counts, preconditioning loops and side exits all run —
-//! and reports total cycles and dynamic instructions. Architectural results
-//! live in a flat word-addressed memory that tests compare against the AST
-//! interpreter.
+//! cycle, non-excepting loads, and a taken-branch redirect of one cycle.
+//! The simulator *executes* the compiled module on real data — trip counts,
+//! preconditioning loops and side exits all run — and reports total cycles
+//! and dynamic instructions. Architectural results live in a flat
+//! word-addressed memory that tests compare against the AST interpreter.
+//!
+//! Data-memory timing is delegated to the machine's pluggable
+//! [`ilpc_mem::MemModel`] (`Machine::mem`). The default,
+//! `MemConfig::Perfect`, is the paper's 100 % cache hit rate and charges
+//! zero extra cycles, reproducing the original simulator cycle-for-cycle.
+//! A finite cache charges extra miss cycles: a missing load's result is
+//! simply ready later (non-blocking loads, in the spirit of the paper's
+//! non-excepting speculative loads), while a missing store stalls issue
+//! until the write-allocate fill completes (blocking, in-order).
 //!
 //! ## Issue model
 //!
@@ -31,6 +39,7 @@ use ilpc_ir::semantics::{eval_flt, eval_int};
 use ilpc_ir::value::{ArrayVal, Value};
 use ilpc_ir::{BlockId, Inst, MemLoc, Module, Opcode, Operand, Reg, RegClass, SymId, SymTab};
 use ilpc_machine::{fu_kind, FuKind, Machine};
+use ilpc_mem::{Access, MemStats};
 
 /// Simulation statistics and final state.
 #[derive(Debug, Clone)]
@@ -45,6 +54,9 @@ pub struct SimResult {
     /// taken)` counts for every conditional branch, in a dense map keyed by
     /// `(BlockId.0, index)`. Drives profile-based superblock formation.
     pub branch_profile: std::collections::HashMap<(u32, usize), (u64, u64)>,
+    /// Memory-hierarchy statistics from the machine's `MemModel` (all-hit
+    /// counters under the default perfect memory).
+    pub mem: MemStats,
 }
 
 /// Simulation failure.
@@ -194,6 +206,8 @@ pub fn simulate(
     };
 
     let mut cur = f.entry();
+    // The data-memory hierarchy (perfect by default — zero extra cycles).
+    let mut memsys = machine.mem.build();
     // Guard against degenerate machines built by hand (pub fields).
     let issue_width = machine.issue_width.max(1);
     let branch_slot_limit = machine.branch_slots.max(1);
@@ -334,7 +348,10 @@ pub fn simulate(
                     } else {
                         0
                     };
-                    cpu.write(d, Value::from_bits(bits, d.class), t + lat);
+                    // A cache miss delays only this load's result (the
+                    // cache is non-blocking for loads); issue continues.
+                    let extra = memsys.access(Access::Load, addr as u64);
+                    cpu.write(d, Value::from_bits(bits, d.class), t + lat + extra);
                 }
                 Opcode::Store => {
                     let addr = cpu.address(inst);
@@ -345,6 +362,16 @@ pub fn simulate(
                     cpu.recent_stores.push((tag, t));
                     if cpu.recent_stores.len() > 64 {
                         cpu.recent_stores.drain(..32);
+                    }
+                    // A store miss blocks in-order issue until the
+                    // write-allocate fill completes (extra = 0 under
+                    // perfect memory: bit-for-bit legacy timing).
+                    let extra = memsys.access(Access::Store, addr as u64);
+                    if extra > 0 {
+                        cursor = t + extra;
+                        slots = 0;
+                        branch_slots = 0;
+                        fu_slots = [0; 4];
                     }
                 }
                 Opcode::Br(c) => {
@@ -385,6 +412,7 @@ pub fn simulate(
                         dyn_insts: cpu.dyn_insts,
                         memory: cpu.mem,
                         branch_profile,
+                        mem: memsys.stats(),
                     });
                 }
                 Opcode::Nop => unreachable!(),
@@ -637,6 +665,98 @@ mod tests {
                 other => panic!("expected Malformed({want}), got {other:?}"),
             }
         }
+    }
+
+    /// A streaming-sum module over `A[0..n]` (serial FP accumulation).
+    fn sum_module(n: usize) -> (Module, ilpc_ir::SymId) {
+        let mut m = Module::new("sum");
+        let a = m.symtab.declare("A", n, RegClass::Flt);
+        let out = m.symtab.declare("out", 1, RegClass::Flt);
+        let f = &mut m.func;
+        let i = f.new_reg(RegClass::Int);
+        let s = f.new_reg(RegClass::Flt);
+        let x = f.new_reg(RegClass::Flt);
+        let entry = f.add_block("entry");
+        let body = f.add_block("body");
+        let exit = f.add_block("exit");
+        f.block_mut(entry).insts.extend([
+            Inst::mov(i, Operand::ImmI(0)),
+            Inst::mov(s, Operand::ImmF(0.0)),
+        ]);
+        f.block_mut(body).insts.extend([
+            Inst::load(x, Operand::Sym(a), i.into(), MemLoc::affine(a, 1, 0)),
+            Inst::alu(Opcode::FAdd, s, s.into(), x.into()),
+            Inst::alu(Opcode::Add, i, i.into(), Operand::ImmI(1)),
+            Inst::br(Cond::Lt, i.into(), Operand::ImmI(n as i64), body),
+        ]);
+        f.block_mut(exit).insts.extend([
+            Inst::store(Operand::Sym(out), Operand::ImmI(0), s.into(), MemLoc::affine(out, 0, 0)),
+            Inst::halt(),
+        ]);
+        (m, out)
+    }
+
+    #[test]
+    fn cache_misses_slow_timing_but_never_change_results() {
+        use ilpc_machine::CacheParams;
+        let n = 64usize;
+        let (m, out) = sum_module(n);
+        let mut mem = vec![0u64; n + 1];
+        for (k, w) in mem.iter_mut().enumerate().take(n) {
+            *w = (k as f64).to_bits();
+        }
+        let perfect = simulate(&m, &Machine::issue(4), mem.clone(), 1_000_000).unwrap();
+        // A 4-word-line cache streams A with one miss per line.
+        let cached_machine =
+            Machine::issue(4).with_cache(CacheParams::new(4, 4, 1, 20, 20));
+        let cached = simulate(&m, &cached_machine, mem, 1_000_000).unwrap();
+
+        assert_eq!(perfect.memory, cached.memory, "timing must not change results");
+        assert_eq!(perfect.dyn_insts, cached.dyn_insts);
+        assert_eq!(
+            read_symbol(&m.symtab, &cached.memory, out),
+            ArrayVal::F(vec![(0..n).map(|k| k as f64).sum()]),
+        );
+        // Perfect memory: every access is a hit, zero stall cycles.
+        assert_eq!(perfect.mem.loads, n as u64);
+        assert_eq!(perfect.mem.stores, 1);
+        assert_eq!(perfect.mem.misses(), 0);
+        assert_eq!(perfect.mem.miss_cycles, 0);
+        // Finite cache: 16 cold line fills for A + the store miss.
+        assert_eq!(cached.mem.load_misses, 16);
+        assert_eq!(cached.mem.store_misses, 1);
+        assert_eq!(cached.mem.miss_cycles, 17 * 20);
+        assert_eq!(cached.mem.accesses(), cached.mem.hits() + cached.mem.misses());
+        // The serial sum chains load→fadd, so miss cycles surface in time.
+        assert!(
+            cached.cycles > perfect.cycles,
+            "{} !> {}",
+            cached.cycles,
+            perfect.cycles
+        );
+    }
+
+    #[test]
+    fn store_miss_blocks_in_order_issue() {
+        use ilpc_machine::CacheParams;
+        let mut m = Module::new("t");
+        let out = m.symtab.declare("out", 1, RegClass::Int);
+        let f = &mut m.func;
+        let blk = f.add_block("b");
+        f.block_mut(blk).insts.extend([
+            Inst::store(Operand::Sym(out), Operand::ImmI(0), Operand::ImmI(9), MemLoc::affine(out, 0, 0)),
+            Inst::halt(),
+        ]);
+        let perfect = simulate(&m, &Machine::issue(8), vec![0], 100).unwrap();
+        let machine = Machine::issue(8).with_cache(CacheParams::new(1, 1, 1, 30, 10));
+        let cached = simulate(&m, &machine, vec![0], 100).unwrap();
+        // store at 0; halt co-issues at 0 → 1 cycle. The 10-cycle store
+        // miss stalls issue: halt at 10 → 11 cycles.
+        assert_eq!(perfect.cycles, 1);
+        assert_eq!(cached.cycles, 11);
+        assert_eq!(read_symbol(&m.symtab, &cached.memory, out), ArrayVal::I(vec![9]));
+        assert_eq!(cached.mem.store_misses, 1);
+        assert_eq!(cached.mem.miss_cycles, 10);
     }
 
     #[test]

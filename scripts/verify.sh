@@ -42,4 +42,10 @@ cargo check --workspace --all-targets --offline
 echo "== offline test suite =="
 cargo test -q --offline
 
+echo "== cache-sensitivity smoke (reduced grid) =="
+# The new memory-hierarchy subsystem end-to-end: a quick cache sweep over
+# the 40-workload grid. Deterministic, offline, and self-checking (the bin
+# asserts accesses == hits + misses on every grid point).
+cargo run --release --offline -p ilpc-harness --bin cache-sensitivity -- --scale 0.02 --quick
+
 echo "verify: OK"

@@ -14,6 +14,7 @@ fn grid() -> Grid {
         levels: Level::ALL.to_vec(),
         widths: vec![1, 2, 4, 8],
         threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        ..GridConfig::default()
     };
     let g = run_grid(&cfg);
     assert!(g.errors.is_empty(), "{:#?}", g.errors);
