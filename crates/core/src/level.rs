@@ -70,54 +70,123 @@ pub struct TransformReport {
     pub searches_expanded: usize,
 }
 
+/// One named step of the level pipeline.
+///
+/// The pipeline is expressed as data so external drivers — most notably the
+/// `ilpc-guard` transformation firewall — can interpose snapshotting,
+/// verification and rollback around every individual pass. [`apply_level`]
+/// runs the exact same pass sequence unguarded; the two must stay
+/// behaviourally identical.
+pub struct Pass {
+    /// Stable pass name (used in guard reports and fault-campaign output).
+    pub name: &'static str,
+    /// Lowest level whose pipeline includes this pass.
+    pub level: Level,
+    run: fn(&mut Module, &UnrollConfig, &mut TransformReport),
+}
+
+impl Pass {
+    /// Run the pass, accumulating application counts into `rep`.
+    pub fn execute(&self, m: &mut Module, ucfg: &UnrollConfig, rep: &mut TransformReport) {
+        (self.run)(m, ucfg, rep)
+    }
+}
+
+/// The complete Lev4 pipeline, in execution order. Counters are accumulated
+/// with `+=` so a pass stays well-defined if a driver re-runs or skips it.
+pub const PASSES: &[Pass] = &[
+    // Conventional optimization is the baseline for every level.
+    Pass { name: "conventional", level: Level::Conv, run: |m, _, _| { conventional(m); } },
+    Pass {
+        name: "unroll",
+        level: Level::Lev1,
+        run: |m, ucfg, rep| {
+            let unrolled = unroll_inner_loops(m, ucfg);
+            rep.loops_unrolled += unrolled.len();
+            rep.unroll_factor_total += unrolled.iter().map(|u| u.factor).sum::<usize>();
+        },
+    },
+    // Post-unroll cleanup: collapse use-free counter chains (classical
+    // induction variable elimination, Figure 5c), fold constants in the
+    // preconditioning code, merge straight-line copies into superblock
+    // seeds.
+    Pass {
+        name: "post-unroll-cleanup",
+        level: Level::Lev1,
+        run: |m, _, _| {
+            fold_add_chains(&mut m.func);
+            dce(&mut m.func);
+            simplify_cfg(&mut m.func);
+            cleanup(&mut m.func);
+        },
+    },
+    Pass {
+        name: "rename",
+        level: Level::Lev2,
+        run: |m, _, rep| rep.defs_renamed += rename_loops(m),
+    },
+    // Renaming introduces no new redundancy; a DCE pass tidies up any
+    // now-unused restored names.
+    Pass { name: "rename-dce", level: Level::Lev2, run: |m, _, _| { dce(&mut m.func); } },
+    Pass {
+        name: "combine",
+        level: Level::Lev3,
+        run: |m, _, rep| rep.combines += operation_combine(m),
+    },
+    Pass {
+        name: "strength-reduce",
+        level: Level::Lev3,
+        run: |m, _, rep| rep.strength_reductions += strength_reduce(m),
+    },
+    Pass {
+        name: "tree-height-reduce",
+        level: Level::Lev3,
+        run: |m, _, rep| rep.trees_reduced += tree_height_reduce(m),
+    },
+    Pass { name: "lev3-dce", level: Level::Lev3, run: |m, _, _| { dce(&mut m.func); } },
+    Pass {
+        name: "accumulator-expand",
+        level: Level::Lev4,
+        run: |m, _, rep| rep.accumulators_expanded += accumulator_expand(m),
+    },
+    Pass {
+        name: "induction-expand",
+        level: Level::Lev4,
+        run: |m, _, rep| rep.inductions_expanded += induction_expand(m),
+    },
+    Pass {
+        name: "search-expand",
+        level: Level::Lev4,
+        run: |m, _, rep| rep.searches_expanded += search_expand(m),
+    },
+    Pass { name: "expand-dce", level: Level::Lev4, run: |m, _, _| { dce(&mut m.func); } },
+    // Expansion exposes more combinable pairs (paper §3.2: "the
+    // effectiveness of other transformations ... becomes more apparent
+    // with fewer dependences present").
+    Pass {
+        name: "re-combine",
+        level: Level::Lev4,
+        run: |m, _, rep| rep.combines += operation_combine(m),
+    },
+    Pass {
+        name: "re-tree-height-reduce",
+        level: Level::Lev4,
+        run: |m, _, rep| rep.trees_reduced += tree_height_reduce(m),
+    },
+    Pass { name: "lev4-dce", level: Level::Lev4, run: |m, _, _| { dce(&mut m.func); } },
+];
+
+/// The passes `level` runs, in execution order.
+pub fn passes(level: Level) -> impl Iterator<Item = &'static Pass> {
+    PASSES.iter().filter(move |p| level >= p.level)
+}
+
 /// Apply `level` to `m` (which must be freshly lowered, unoptimized IR).
 pub fn apply_level(m: &mut Module, level: Level, ucfg: &UnrollConfig) -> TransformReport {
     let mut rep = TransformReport::default();
-
-    // Conventional optimization is the baseline for every level.
-    conventional(m);
-
-    if level >= Level::Lev1 {
-        let unrolled = unroll_inner_loops(m, ucfg);
-        rep.loops_unrolled = unrolled.len();
-        rep.unroll_factor_total = unrolled.iter().map(|u| u.factor).sum();
-        // Post-unroll cleanup: collapse use-free counter chains (classical
-        // induction variable elimination, Figure 5c), fold constants in the
-        // preconditioning code, merge straight-line copies into superblock
-        // seeds.
-        fold_add_chains(&mut m.func);
-        dce(&mut m.func);
-        simplify_cfg(&mut m.func);
-        cleanup(&mut m.func);
+    for pass in passes(level) {
+        pass.execute(m, ucfg, &mut rep);
     }
-
-    if level >= Level::Lev2 {
-        rep.defs_renamed = rename_loops(m);
-        // Renaming introduces no new redundancy; a DCE pass tidies up any
-        // now-unused restored names.
-        dce(&mut m.func);
-    }
-
-    if level >= Level::Lev3 {
-        rep.combines = operation_combine(m);
-        rep.strength_reductions = strength_reduce(m);
-        rep.trees_reduced = tree_height_reduce(m);
-        dce(&mut m.func);
-    }
-
-    if level >= Level::Lev4 {
-        rep.accumulators_expanded = accumulator_expand(m);
-        rep.inductions_expanded = induction_expand(m);
-        rep.searches_expanded = search_expand(m);
-        dce(&mut m.func);
-        // Expansion exposes more combinable pairs (paper §3.2: "the
-        // effectiveness of other transformations ... becomes more apparent
-        // with fewer dependences present").
-        rep.combines += operation_combine(m);
-        rep.trees_reduced += tree_height_reduce(m);
-        dce(&mut m.func);
-    }
-
     debug_assert!(
         ilpc_ir::verify::verify_module(m).is_ok(),
         "level pipeline broke the IR: {:?}",
@@ -205,6 +274,45 @@ mod tests {
         let fmuls = ops.iter().filter(|o| **o == Opcode::FMul).count();
         assert_eq!(fadds, fmuls, "one accumulate per product");
         assert!(fadds >= 4, "unrolled at least 4x, got {fadds}");
+    }
+
+    #[test]
+    fn pass_table_is_cumulative_and_matches_apply_level() {
+        // Each successive level strictly extends the previous one's plan.
+        let mut prev = 0;
+        for level in Level::ALL {
+            let n = passes(level).count();
+            assert!(n > prev, "{level}: {n} passes, previous level had {prev}");
+            prev = n;
+        }
+        assert_eq!(passes(Level::Lev4).count(), PASSES.len());
+        // Driving the pass table by hand reproduces apply_level exactly.
+        let mut via_table = lower(&dotprod());
+        let mut rep_table = TransformReport::default();
+        for pass in passes(Level::Lev4) {
+            pass.execute(&mut via_table.module, &UnrollConfig::default(), &mut rep_table);
+        }
+        let mut via_apply = lower(&dotprod());
+        let rep_apply =
+            apply_level(&mut via_apply.module, Level::Lev4, &UnrollConfig::default());
+        assert_eq!(rep_table, rep_apply);
+        assert_eq!(
+            ilpc_ir::text::serialize(&via_table.module),
+            ilpc_ir::text::serialize(&via_apply.module)
+        );
+    }
+
+    #[test]
+    fn every_pass_leaves_verifiable_ir() {
+        // The guard verifies after *every* pass, so no pass may leave even a
+        // transiently malformed module.
+        let mut l = lower(&dotprod());
+        let mut rep = TransformReport::default();
+        for pass in passes(Level::Lev4) {
+            pass.execute(&mut l.module, &UnrollConfig::default(), &mut rep);
+            ilpc_ir::verify::verify_module(&l.module)
+                .unwrap_or_else(|e| panic!("after {}: {e}", pass.name));
+        }
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! Deterministic fault-injection engine.
+//!
+//! Mutates a well-formed module the way a buggy transformation pass, a
+//! truncated `.ilpc` file or a corrupted build artifact would: operand
+//! swaps, opcode/condition flips, register-class flips, dropped CFG edges,
+//! alias-tag corruption, addressing-displacement and branch-probability
+//! metadata corruption. All randomness comes from the `ilpc-testkit`
+//! xoshiro256++ PRNG, so a `(module, kind, seed)` triple always produces
+//! the same fault — campaign classifications are exactly reproducible.
+//!
+//! The classes deliberately span the firewall's detection layers:
+//!
+//! | class          | typical detector                                   |
+//! |----------------|----------------------------------------------------|
+//! | `OperandSwap`  | differential (or benign when commutative)          |
+//! | `OpcodeFlip`   | differential                                       |
+//! | `RegClassFlip` | verifier                                           |
+//! | `DropEdge`     | verifier / simulator / differential                |
+//! | `AliasTag`     | differential after scheduling (or timing-benign)   |
+//! | `ExtDisp`      | differential (wrong address)                       |
+//! | `ProbMeta`     | benign for correctness (performance metadata only) |
+
+use ilpc_ir::{BlockId, Inst, MemLoc, Module, Opcode, Operand, Reg, RegClass};
+use ilpc_testkit::TestRng;
+use std::fmt;
+
+/// Fault classes the engine can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Swap two source operands of one instruction.
+    OperandSwap,
+    /// Flip an opcode (or branch condition) within its result class.
+    OpcodeFlip,
+    /// Flip the register class of one register operand or destination.
+    RegClassFlip,
+    /// Corrupt control flow: dangle a branch target or delete the branch.
+    DropEdge,
+    /// Corrupt a load/store memory-disambiguation tag.
+    AliasTag,
+    /// Corrupt a load/store constant addressing displacement.
+    ExtDisp,
+    /// Corrupt branch-probability metadata (drives superblock selection).
+    ProbMeta,
+}
+
+impl FaultKind {
+    /// Every fault class, in stable order.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::OperandSwap,
+        FaultKind::OpcodeFlip,
+        FaultKind::RegClassFlip,
+        FaultKind::DropEdge,
+        FaultKind::AliasTag,
+        FaultKind::ExtDisp,
+        FaultKind::ProbMeta,
+    ];
+
+    /// Stable name used in campaign tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::OperandSwap => "operand-swap",
+            FaultKind::OpcodeFlip => "opcode-flip",
+            FaultKind::RegClassFlip => "reg-class-flip",
+            FaultKind::DropEdge => "drop-edge",
+            FaultKind::AliasTag => "alias-tag",
+            FaultKind::ExtDisp => "ext-disp",
+            FaultKind::ProbMeta => "prob-meta",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Record of one injected fault.
+#[derive(Debug, Clone)]
+pub struct Fault {
+    pub kind: FaultKind,
+    pub block: BlockId,
+    pub index: usize,
+    /// What was done, for campaign logs.
+    pub desc: String,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}[{}]: {}", self.kind, self.block, self.index, self.desc)
+    }
+}
+
+/// All `(block, index)` sites whose instruction satisfies `pred`, in layout
+/// order (deterministic).
+fn sites(m: &Module, pred: impl Fn(&Inst) -> bool) -> Vec<(BlockId, usize)> {
+    let mut out = Vec::new();
+    for &b in m.func.layout_order() {
+        for (i, inst) in m.func.block(b).insts.iter().enumerate() {
+            if pred(inst) {
+                out.push((b, i));
+            }
+        }
+    }
+    out
+}
+
+fn pick(rng: &mut TestRng, sites: &[(BlockId, usize)]) -> Option<(BlockId, usize)> {
+    if sites.is_empty() {
+        None
+    } else {
+        Some(sites[rng.gen_range(0..sites.len())])
+    }
+}
+
+/// Opcode flip within the same result class (keeps the verifier happy so
+/// the corruption can only be caught architecturally).
+fn flipped_op(op: Opcode) -> Option<Opcode> {
+    Some(match op {
+        Opcode::Add => Opcode::Sub,
+        Opcode::Sub => Opcode::Add,
+        Opcode::Mul => Opcode::Add,
+        Opcode::Div => Opcode::Mul,
+        Opcode::Rem => Opcode::Div,
+        Opcode::And => Opcode::Or,
+        Opcode::Or => Opcode::Xor,
+        Opcode::Xor => Opcode::And,
+        Opcode::Shl => Opcode::Shr,
+        Opcode::Shr => Opcode::Shl,
+        Opcode::FAdd => Opcode::FSub,
+        Opcode::FSub => Opcode::FAdd,
+        Opcode::FMul => Opcode::FAdd,
+        Opcode::FDiv => Opcode::FMul,
+        Opcode::Br(c) => Opcode::Br(c.negated()),
+        _ => return None,
+    })
+}
+
+/// Inject one fault of `kind` into `m` at a PRNG-chosen site. Returns
+/// `None` when the module has no eligible site for this class (e.g. no
+/// conditional branches for `DropEdge`); the module is unchanged then.
+pub fn inject(m: &mut Module, kind: FaultKind, rng: &mut TestRng) -> Option<Fault> {
+    let fault = |block, index, desc: String| Fault { kind, block, index, desc };
+    match kind {
+        FaultKind::OperandSwap => {
+            // Two used source operands to swap; for stores prefer swapping
+            // offset and value (base+offset addition is symmetric).
+            let cand = sites(m, |i| match i.op {
+                Opcode::Store => true,
+                _ => i.src[0].is_some() && i.src[1].is_some(),
+            });
+            let (b, idx) = pick(rng, &cand)?;
+            let inst = &mut m.func.block_mut(b).insts[idx];
+            let (x, y) = if inst.op == Opcode::Store { (1, 2) } else { (0, 1) };
+            inst.src.swap(x, y);
+            Some(fault(b, idx, format!("swapped src[{x}] and src[{y}]")))
+        }
+        FaultKind::OpcodeFlip => {
+            let cand = sites(m, |i| flipped_op(i.op).is_some());
+            let (b, idx) = pick(rng, &cand)?;
+            let inst = &mut m.func.block_mut(b).insts[idx];
+            let from = inst.op;
+            inst.op = flipped_op(from).unwrap();
+            Some(fault(b, idx, format!("{from} -> {}", inst.op)))
+        }
+        FaultKind::RegClassFlip => {
+            let cand = sites(m, |i| i.dst.is_some() || i.uses().next().is_some());
+            let (b, idx) = pick(rng, &cand)?;
+            let inst = &mut m.func.block_mut(b).insts[idx];
+            let flip = |r: Reg| Reg {
+                class: match r.class {
+                    RegClass::Int => RegClass::Flt,
+                    RegClass::Flt => RegClass::Int,
+                },
+                ..r
+            };
+            let first_use = inst.uses().next();
+            if let Some(d) = inst
+                .dst
+                .filter(|_| first_use.is_none() || rng.gen_range(0u32..2) == 0)
+            {
+                inst.dst = Some(flip(d));
+                Some(fault(b, idx, format!("dst {d} class flipped")))
+            } else {
+                let r = first_use?;
+                inst.replace_use(r, Operand::Reg(flip(r)));
+                Some(fault(b, idx, format!("use {r} class flipped")))
+            }
+        }
+        FaultKind::DropEdge => {
+            let cand = sites(m, |i| i.op.is_branch() && i.target.is_some());
+            let (b, idx) = pick(rng, &cand)?;
+            let inst = &mut m.func.block_mut(b).insts[idx];
+            if rng.gen_range(0u32..2) == 0 {
+                inst.target = Some(BlockId(u32::MAX - 1));
+                Some(fault(b, idx, "branch target dangled".to_string()))
+            } else {
+                *inst = Inst::new(Opcode::Nop);
+                Some(fault(b, idx, "branch deleted (edge dropped)".to_string()))
+            }
+        }
+        FaultKind::AliasTag => {
+            let cand = sites(m, |i| i.mem.is_some());
+            let (b, idx) = pick(rng, &cand)?;
+            let inst = &mut m.func.block_mut(b).insts[idx];
+            let tag = inst.mem.unwrap();
+            let desc = match rng.gen_range(0u32..3) {
+                // Claim a bogus affine shape: "this reference never
+                // aliases anything" — a scheduler trusting it may reorder
+                // a dependent store/load pair.
+                0 => {
+                    inst.mem = Some(MemLoc {
+                        lin: Some((0, i64::MAX / 2)),
+                        ..tag
+                    });
+                    "alias tag forged to a never-aliasing shape"
+                }
+                // Forge the outer-loop fingerprint.
+                1 => {
+                    inst.mem = Some(MemLoc { outer: tag.outer ^ 0xDEAD_BEEF, ..tag });
+                    "outer-loop fingerprint corrupted"
+                }
+                // Drop the tag entirely (truncated serialization).
+                _ => {
+                    inst.mem = None;
+                    "memory tag dropped"
+                }
+            };
+            Some(fault(b, idx, desc.to_string()))
+        }
+        FaultKind::ExtDisp => {
+            let cand = sites(m, |i| i.op.is_mem());
+            let (b, idx) = pick(rng, &cand)?;
+            let delta = rng.gen_range(1i64..64);
+            let inst = &mut m.func.block_mut(b).insts[idx];
+            inst.ext = inst.ext.wrapping_add(delta);
+            Some(fault(b, idx, format!("displacement skewed by {delta}")))
+        }
+        FaultKind::ProbMeta => {
+            let cand = sites(m, |i| i.op.is_branch());
+            let (b, idx) = pick(rng, &cand)?;
+            let p = rng.next_f64() as f32;
+            let inst = &mut m.func.block_mut(b).insts[idx];
+            let old = inst.prob;
+            inst.prob = p;
+            Some(fault(b, idx, format!("branch probability {old} -> {p}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::text::serialize;
+    use ilpc_ir::Cond;
+
+    fn sample_module() -> Module {
+        let mut m = Module::new("t");
+        let a = m.symtab.declare("A", 8, RegClass::Flt);
+        let out = m.symtab.declare("out", 1, RegClass::Flt);
+        let f = &mut m.func;
+        let i = f.new_reg(RegClass::Int);
+        let s = f.new_reg(RegClass::Flt);
+        let x = f.new_reg(RegClass::Flt);
+        let entry = f.add_block("entry");
+        let body = f.add_block("body");
+        let exit = f.add_block("exit");
+        f.block_mut(entry).insts.extend([
+            Inst::mov(i, Operand::ImmI(0)),
+            Inst::mov(s, Operand::ImmF(0.0)),
+        ]);
+        f.block_mut(body).insts.extend([
+            Inst::load(x, Operand::Sym(a), i.into(), MemLoc::affine(a, 1, 0)),
+            Inst::alu(Opcode::FAdd, s, s.into(), x.into()),
+            Inst::alu(Opcode::Add, i, i.into(), Operand::ImmI(1)),
+            Inst::br(Cond::Lt, i.into(), Operand::ImmI(8), body),
+        ]);
+        f.block_mut(exit).insts.extend([
+            Inst::store(
+                Operand::Sym(out),
+                Operand::ImmI(0),
+                s.into(),
+                MemLoc::affine(out, 0, 0),
+            ),
+            Inst::halt(),
+        ]);
+        m
+    }
+
+    #[test]
+    fn every_kind_finds_a_site_and_mutates() {
+        for kind in FaultKind::ALL {
+            let mut m = sample_module();
+            let before = serialize(&m);
+            let mut rng = TestRng::seed_from_u64(7);
+            let fault = inject(&mut m, kind, &mut rng)
+                .unwrap_or_else(|| panic!("{kind}: no site found"));
+            assert_eq!(fault.kind, kind);
+            // ProbMeta only changes non-serialized metadata; every other
+            // class must visibly change the module text.
+            if kind != FaultKind::ProbMeta {
+                assert_ne!(serialize(&m), before, "{kind} did not mutate the module");
+            }
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        for kind in FaultKind::ALL {
+            for seed in [0u64, 1, 99] {
+                let mut m1 = sample_module();
+                let mut m2 = sample_module();
+                let f1 = inject(&mut m1, kind, &mut TestRng::seed_from_u64(seed)).unwrap();
+                let f2 = inject(&mut m2, kind, &mut TestRng::seed_from_u64(seed)).unwrap();
+                assert_eq!(f1.desc, f2.desc);
+                assert_eq!((f1.block, f1.index), (f2.block, f2.index));
+                assert_eq!(serialize(&m1), serialize(&m2));
+            }
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! # ilpc-guard — the transformation firewall
+//!
+//! The paper's whole premise is that the Lev1–Lev4 transformations preserve
+//! semantics while exposing ILP (§2); a single buggy or corrupted pass that
+//! silently produces wrong architectural results would invalidate every
+//! number downstream. This crate makes per-transformation validation a
+//! first-class subsystem: a [`Guard`] wraps every step of the compilation
+//! pipeline and, around each one,
+//!
+//! 1. **snapshots** the IR,
+//! 2. runs the [`ilpc_ir::verify`] verifier — in release builds too (the
+//!    bare pipeline only verifies under `debug_assertions`),
+//! 3. **spot-checks architectural results** against a reference oracle
+//!    (the AST interpreter's output) by executing the module on the cycle
+//!    simulator, and
+//! 4. isolates pass **panics** with `catch_unwind`.
+//!
+//! On any failure the guard rolls the module back to the last good
+//! snapshot, records a typed incident, and the driver continues with the
+//! remaining passes — graceful degradation to the highest achievable
+//! transformation level instead of a crashed or silently-wrong run.
+//!
+//! The error taxonomy ([`GuardErrorKind`]) is deliberately small:
+//!
+//! * [`VerifierReject`](GuardErrorKind::VerifierReject) — structurally
+//!   malformed IR (wrong operand arity/class, dangling target, …);
+//! * [`DifferentialMismatch`](GuardErrorKind::DifferentialMismatch) —
+//!   well-formed IR that computes the wrong answer, or IR the simulator
+//!   rejects at execution time;
+//! * [`PassPanic`](GuardErrorKind::PassPanic) — the pass itself panicked;
+//! * [`BudgetExceeded`](GuardErrorKind::BudgetExceeded) — runaway code
+//!   growth, cycle budget or dynamic-instruction watchdog exhaustion.
+//!
+//! [`inject`] pairs the guard with a deterministic fault-injection engine
+//! (seeded by the `ilpc-testkit` PRNG) used by the `fault-campaign`
+//! harness to demonstrate the headline invariant: **zero silent escapes**
+//! — no corrupted run reports a wrong architectural result unflagged.
+
+pub mod inject;
+
+use ilpc_core::level::{passes, Level, TransformReport};
+use ilpc_core::unroll::UnrollConfig;
+use ilpc_ir::value::ArrayVal;
+use ilpc_ir::verify::verify_module;
+use ilpc_ir::{Module, SymId};
+use ilpc_machine::Machine;
+use ilpc_sim::{read_symbol, simulate_limited, SimError, SimLimits};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Classification of a guarded-step failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GuardErrorKind {
+    /// The IR verifier rejected the pass output.
+    VerifierReject,
+    /// The pass output computes wrong architectural results (or the
+    /// simulator rejected it at execution time).
+    DifferentialMismatch,
+    /// The pass panicked; the panic was contained by the firewall.
+    PassPanic,
+    /// A resource budget was exhausted: runaway code growth, the cycle
+    /// budget, or the dynamic-instruction watchdog.
+    BudgetExceeded,
+}
+
+impl GuardErrorKind {
+    /// Stable name used in reports and campaign tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            GuardErrorKind::VerifierReject => "VerifierReject",
+            GuardErrorKind::DifferentialMismatch => "DifferentialMismatch",
+            GuardErrorKind::PassPanic => "PassPanic",
+            GuardErrorKind::BudgetExceeded => "BudgetExceeded",
+        }
+    }
+}
+
+impl fmt::Display for GuardErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed guarded-step failure.
+#[derive(Debug, Clone)]
+pub struct GuardError {
+    pub kind: GuardErrorKind,
+    /// Human-readable detail (verifier message, mismatch magnitude, panic
+    /// payload, …).
+    pub detail: String,
+}
+
+impl GuardError {
+    fn new(kind: GuardErrorKind, detail: impl Into<String>) -> GuardError {
+        GuardError { kind, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for GuardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+impl std::error::Error for GuardError {}
+
+/// One contained failure: which step failed, and how.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// Zero-based index of the step in the guarded sequence.
+    pub step: usize,
+    /// Step name (a `ilpc_core::level` pass name, or a backend step such
+    /// as `"superblock-formation"` / `"list-schedule"`).
+    pub pass: &'static str,
+    pub error: GuardError,
+}
+
+impl fmt::Display for Incident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "step {} ({}): {}", self.step, self.pass, self.error)
+    }
+}
+
+/// Outcome summary of a guarded pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct GuardReport {
+    /// Steps attempted (passes + backend steps).
+    pub steps_attempted: usize,
+    /// Steps whose output was kept.
+    pub steps_kept: usize,
+    /// Contained failures, in execution order. Empty on a healthy run.
+    pub incidents: Vec<Incident>,
+    /// Level the driver asked for (set by [`guarded_apply_level`]).
+    pub requested: Option<Level>,
+    /// Highest level whose passes all ran clean — `None` if even the
+    /// baseline conventional optimization had to be rolled back.
+    pub achieved: Option<Level>,
+}
+
+impl GuardReport {
+    /// True if every step was kept.
+    pub fn clean(&self) -> bool {
+        self.incidents.is_empty()
+    }
+
+    /// Names of the steps that were rolled back.
+    pub fn skipped(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.incidents.iter().map(|i| i.pass)
+    }
+}
+
+/// Architectural-result oracle for differential spot-checks.
+///
+/// Holds everything needed to execute a module under guard and compare its
+/// results against ground truth (in practice: the AST interpreter's output
+/// for the workload being compiled). Timing is irrelevant here — any
+/// machine width yields the same architectural results — so `machine` can
+/// be a fixed narrow configuration regardless of the compilation target.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    /// Machine to execute the spot-check on.
+    pub machine: Machine,
+    /// Initial flat memory image for the module.
+    pub init_mem: Vec<u64>,
+    /// Expected final contents per checked symbol (arrays and scalar
+    /// shadow symbols).
+    pub expect: Vec<(SymId, ArrayVal)>,
+    /// Relative FP tolerance (expansion transformations reassociate
+    /// reductions, exactly as the paper's do).
+    pub tol: f64,
+    /// Simulation budgets for one spot-check execution.
+    pub limits: SimLimits,
+}
+
+impl Oracle {
+    /// Execute `m` and compare its architectural results against the
+    /// expectations. `Ok(())` means every checked symbol matched.
+    pub fn check(&self, m: &Module) -> Result<(), GuardError> {
+        let res = match simulate_limited(m, &self.machine, self.init_mem.clone(), self.limits)
+        {
+            Ok(res) => res,
+            Err(e @ (SimError::CycleLimit(_) | SimError::DynInstLimit(_))) => {
+                return Err(GuardError::new(
+                    GuardErrorKind::BudgetExceeded,
+                    format!("spot-check {e}"),
+                ))
+            }
+            Err(e) => {
+                return Err(GuardError::new(
+                    GuardErrorKind::DifferentialMismatch,
+                    format!("spot-check simulation rejected the module: {e}"),
+                ))
+            }
+        };
+        for (sym, want) in &self.expect {
+            let got = read_symbol(&m.symtab, &res.memory, *sym);
+            if got.class() != want.class() {
+                return Err(GuardError::new(
+                    GuardErrorKind::DifferentialMismatch,
+                    format!("symbol @{} changed class", sym.0),
+                ));
+            }
+            let diff = got.max_rel_diff(want);
+            if !(diff <= self.tol) {
+                return Err(GuardError::new(
+                    GuardErrorKind::DifferentialMismatch,
+                    format!("symbol @{} differs from reference by {diff:.2e}", sym.0),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Firewall configuration. The default enables every protection.
+#[derive(Debug, Clone, Copy)]
+pub struct GuardConfig {
+    /// Run the IR verifier after every step (release builds included).
+    pub verify: bool,
+    /// Spot-check architectural results after every step (requires an
+    /// [`Oracle`]).
+    pub differential: bool,
+    /// Contain pass panics with `catch_unwind`. Disable to let panics
+    /// propagate (useful under a debugger).
+    pub catch_panics: bool,
+    /// Maximum static instructions a step may leave behind; exceeding it is
+    /// a [`BudgetExceeded`](GuardErrorKind::BudgetExceeded) failure
+    /// (catches runaway unrolling/expansion before it eats the machine).
+    pub max_insts: usize,
+}
+
+impl Default for GuardConfig {
+    fn default() -> GuardConfig {
+        GuardConfig {
+            verify: true,
+            differential: true,
+            catch_panics: true,
+            max_insts: 1 << 20,
+        }
+    }
+}
+
+/// Best-effort string form of a `catch_unwind` payload.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A sabotage hook: corrupt the module right after step `at_step` runs,
+/// *inside* the guarded region — exactly where a buggy pass would strike.
+/// Used by the fault-injection campaign; never set in production.
+pub struct StepHook<'a> {
+    pub at_step: usize,
+    pub action: Box<dyn FnMut(&mut Module) + 'a>,
+}
+
+/// The transformation firewall. Drive it with [`Guard::step`] around every
+/// mutation of the module; it snapshots, checks, rolls back and records.
+pub struct Guard<'a> {
+    pub cfg: GuardConfig,
+    oracle: Option<&'a Oracle>,
+    hook: Option<StepHook<'a>>,
+    pub report: GuardReport,
+}
+
+impl<'a> Guard<'a> {
+    /// New firewall. Without an oracle the differential spot-check is
+    /// skipped (the verifier, panic containment and budgets still apply).
+    pub fn new(cfg: GuardConfig, oracle: Option<&'a Oracle>) -> Guard<'a> {
+        Guard { cfg, oracle, hook: None, report: GuardReport::default() }
+    }
+
+    /// Install a fault-injection hook (see [`StepHook`]).
+    pub fn with_hook(mut self, hook: StepHook<'a>) -> Guard<'a> {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Run one guarded step. Returns `true` if the step's output was kept,
+    /// `false` if it failed a check and the module was rolled back to its
+    /// state on entry.
+    pub fn step(
+        &mut self,
+        m: &mut Module,
+        name: &'static str,
+        f: impl FnOnce(&mut Module),
+    ) -> bool {
+        let idx = self.report.steps_attempted;
+        self.report.steps_attempted += 1;
+        let snapshot = m.clone();
+
+        let hook = match &mut self.hook {
+            Some(h) if h.at_step == idx => Some(&mut h.action),
+            _ => None,
+        };
+        let body = move |m: &mut Module| {
+            f(m);
+            if let Some(action) = hook {
+                action(m);
+            }
+        };
+        let error = if self.cfg.catch_panics {
+            match catch_unwind(AssertUnwindSafe(|| body(m))) {
+                Ok(()) => self.check(m),
+                Err(payload) => Some(GuardError::new(
+                    GuardErrorKind::PassPanic,
+                    panic_message(payload),
+                )),
+            }
+        } else {
+            body(m);
+            self.check(m)
+        };
+
+        match error {
+            None => {
+                self.report.steps_kept += 1;
+                true
+            }
+            Some(error) => {
+                *m = snapshot;
+                self.report.incidents.push(Incident { step: idx, pass: name, error });
+                false
+            }
+        }
+    }
+
+    /// Post-step checks, in escalating cost order: growth budget, then the
+    /// verifier, then the differential spot-check.
+    fn check(&self, m: &Module) -> Option<GuardError> {
+        let insts = m.func.num_insts();
+        if insts > self.cfg.max_insts {
+            return Some(GuardError::new(
+                GuardErrorKind::BudgetExceeded,
+                format!("module grew to {insts} instructions (budget {})", self.cfg.max_insts),
+            ));
+        }
+        if self.cfg.verify {
+            if let Err(e) = verify_module(m) {
+                return Some(GuardError::new(GuardErrorKind::VerifierReject, e.to_string()));
+            }
+        }
+        if self.cfg.differential {
+            if let Some(oracle) = self.oracle {
+                if let Err(e) = oracle.check(m) {
+                    return Some(e);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Apply `level` to `m` through the firewall: every pass of the level
+/// pipeline runs as a guarded step. Failed passes are rolled back and
+/// skipped; the module always leaves this function verifiable and (given an
+/// oracle) architecturally correct.
+pub fn guarded_apply_level(
+    m: &mut Module,
+    level: Level,
+    ucfg: &UnrollConfig,
+    guard: &mut Guard,
+) -> TransformReport {
+    guard.report.requested = Some(level);
+    let incidents_before = guard.report.incidents.len();
+    let mut rep = TransformReport::default();
+    for pass in passes(level) {
+        let saved = rep.clone();
+        let kept = guard.step(m, pass.name, |m| pass.execute(m, ucfg, &mut rep));
+        if !kept {
+            rep = saved;
+        }
+    }
+    // Highest level all of whose passes (at that and lower levels) ran
+    // clean. A skipped Conv pass means not even the baseline held.
+    let skipped: Vec<&'static str> = guard.report.incidents[incidents_before..]
+        .iter()
+        .map(|i| i.pass)
+        .collect();
+    let mut achieved = None;
+    'levels: for l in Level::ALL.into_iter().take_while(|l| *l <= level) {
+        for pass in passes(level).filter(|p| p.level == l) {
+            if skipped.contains(&pass.name) {
+                break 'levels;
+            }
+        }
+        achieved = Some(l);
+    }
+    guard.report.achieved = achieved;
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::ast::{Bound, Expr, Index, Program, Stmt};
+    use ilpc_ir::interp::{interpret, DataInit};
+    use ilpc_ir::lower::lower;
+    use ilpc_ir::text::serialize;
+    use ilpc_ir::value::Value;
+    use ilpc_ir::Opcode;
+    use ilpc_sim::memory_from_init;
+
+    fn dotprod() -> (Program, DataInit) {
+        let mut p = Program::new("dotprod");
+        let i = p.int_var("i");
+        let s = p.flt_var("s");
+        let a = p.flt_arr("A", 32);
+        let b = p.flt_arr("B", 32);
+        p.body = vec![Stmt::For {
+            var: i,
+            lo: Bound::Const(0),
+            hi: Bound::Const(31),
+            body: vec![Stmt::SetScalar(
+                s,
+                Expr::add(
+                    Expr::Var(s),
+                    Expr::mul(Expr::at(a, Index::var(i)), Expr::at(b, Index::var(i))),
+                ),
+            )],
+        }];
+        // Nonzero, varied data: an all-zero environment would mask
+        // value-corrupting faults (e.g. FAdd vs FSub of zeros agree).
+        let init = DataInit::new()
+            .with_array(a, ArrayVal::F((0..32).map(|k| 0.5 + k as f64).collect()))
+            .with_array(b, ArrayVal::F((0..32).map(|k| 1.25 - k as f64 * 0.125).collect()));
+        (p, init)
+    }
+
+    /// Oracle for the dotprod program: all arrays plus shadow scalars.
+    fn oracle_for(p: &Program, init: &DataInit, l: &ilpc_ir::lower::Lowered) -> Oracle {
+        let reference = interpret(p, init);
+        let mut expect: Vec<(SymId, ArrayVal)> = reference
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(k, v)| (SymId(k as u32), v.clone()))
+            .collect();
+        let mut shadows: Vec<_> = l.shadow_syms.iter().collect();
+        shadows.sort_by_key(|(_, sym)| sym.0);
+        for (var, sym) in shadows {
+            let want = match reference.scalars[var.0 as usize] {
+                Value::I(x) => ArrayVal::I(vec![x]),
+                Value::F(x) => ArrayVal::F(vec![x]),
+            };
+            expect.push((*sym, want));
+        }
+        Oracle {
+            machine: Machine::issue(4),
+            init_mem: memory_from_init(&l.module.symtab, init),
+            expect,
+            tol: 1e-9,
+            limits: SimLimits::cycles(1_000_000),
+        }
+    }
+
+    #[test]
+    fn clean_run_is_bit_identical_to_unguarded() {
+        let (p, init) = dotprod();
+        let mut plain = lower(&p);
+        let plain_rep =
+            ilpc_core::level::apply_level(&mut plain.module, Level::Lev4, &UnrollConfig::default());
+
+        let mut guarded = lower(&p);
+        let oracle = oracle_for(&p, &init, &guarded);
+        let mut guard = Guard::new(GuardConfig::default(), Some(&oracle));
+        let rep = guarded_apply_level(
+            &mut guarded.module,
+            Level::Lev4,
+            &UnrollConfig::default(),
+            &mut guard,
+        );
+
+        assert!(guard.report.clean(), "{:#?}", guard.report.incidents);
+        assert_eq!(guard.report.requested, Some(Level::Lev4));
+        assert_eq!(guard.report.achieved, Some(Level::Lev4));
+        assert_eq!(guard.report.steps_kept, guard.report.steps_attempted);
+        assert_eq!(rep, plain_rep);
+        assert_eq!(serialize(&guarded.module), serialize(&plain.module));
+    }
+
+    #[test]
+    fn panicking_pass_is_contained_rolled_back_and_skipped() {
+        let (p, init) = dotprod();
+        let mut l = lower(&p);
+        let oracle = oracle_for(&p, &init, &l);
+        // Sabotage step 3 ("rename") with a panic.
+        let mut guard = Guard::new(GuardConfig::default(), Some(&oracle)).with_hook(StepHook {
+            at_step: 3,
+            action: Box::new(|_| panic!("injected pass bug")),
+        });
+        let rep = guarded_apply_level(
+            &mut l.module,
+            Level::Lev4,
+            &UnrollConfig::default(),
+            &mut guard,
+        );
+        let incidents = &guard.report.incidents;
+        assert_eq!(incidents.len(), 1, "{incidents:#?}");
+        assert_eq!(incidents[0].error.kind, GuardErrorKind::PassPanic);
+        assert_eq!(incidents[0].pass, "rename");
+        assert!(incidents[0].error.detail.contains("injected pass bug"));
+        // Degraded below Lev2 (rename is the Lev2 pass), but Lev3/Lev4
+        // passes still ran on the rolled-back module.
+        assert_eq!(guard.report.achieved, Some(Level::Lev1));
+        assert_eq!(rep.defs_renamed, 0);
+        assert!(rep.combines >= 1, "later passes should still run: {rep:?}");
+        // The surviving module is verifiable and architecturally correct.
+        verify_module(&l.module).unwrap();
+        oracle.check(&l.module).unwrap();
+    }
+
+    #[test]
+    fn corrupting_pass_output_is_flagged_and_rolled_back() {
+        let (p, init) = dotprod();
+        let mut l = lower(&p);
+        let oracle = oracle_for(&p, &init, &l);
+        // Corrupt the module right after the unroll pass (step 1): flip
+        // every FAdd to FSub — structurally valid, architecturally wrong.
+        // (All of them: after unrolling, one FAdd lives in a remainder loop
+        // that executes zero iterations for this trip count, so flipping
+        // only the first in layout order can be architecturally invisible.)
+        let mut guard = Guard::new(GuardConfig::default(), Some(&oracle)).with_hook(StepHook {
+            at_step: 1,
+            action: Box::new(|m: &mut Module| {
+                let mut flipped = 0;
+                let blocks: Vec<_> = m.func.layout_order().to_vec();
+                for b in blocks {
+                    for inst in &mut m.func.block_mut(b).insts {
+                        if inst.op == Opcode::FAdd {
+                            inst.op = Opcode::FSub;
+                            flipped += 1;
+                        }
+                    }
+                }
+                assert!(flipped > 0, "no FAdd to corrupt");
+            }),
+        });
+        guarded_apply_level(&mut l.module, Level::Lev4, &UnrollConfig::default(), &mut guard);
+        assert_eq!(guard.report.incidents.len(), 1, "{:#?}", guard.report.incidents);
+        let inc = &guard.report.incidents[0];
+        assert_eq!(inc.error.kind, GuardErrorKind::DifferentialMismatch);
+        assert_eq!(inc.pass, "unroll");
+        assert_eq!(guard.report.achieved, Some(Level::Conv));
+        oracle.check(&l.module).unwrap();
+    }
+
+    #[test]
+    fn growth_budget_rejects_runaway_pass() {
+        let (p, _) = dotprod();
+        let mut l = lower(&p);
+        let cfg = GuardConfig { max_insts: 8, ..GuardConfig::default() };
+        let mut guard = Guard::new(cfg, None);
+        guarded_apply_level(&mut l.module, Level::Lev1, &UnrollConfig::default(), &mut guard);
+        assert!(
+            guard
+                .report
+                .incidents
+                .iter()
+                .any(|i| i.error.kind == GuardErrorKind::BudgetExceeded),
+            "{:#?}",
+            guard.report.incidents
+        );
+    }
+}

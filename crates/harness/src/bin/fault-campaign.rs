@@ -1,0 +1,42 @@
+//! Seeded fault-injection campaign against the transformation firewall.
+//!
+//! Usage: fault-campaign [--quick] [--faults N] [--seed S] [--scale F]
+//!
+//! Injects N deterministic faults (IR corruptions inside guarded
+//! compilation steps, plus machine latency-table corruptions) across the
+//! 40 workloads, classifies every outcome, and prints the summary table.
+//! Exits nonzero if any fault silently escapes — wrong architectural
+//! results with nothing flagged.
+
+use ilpc_harness::campaign::{run_campaign, CampaignConfig};
+
+fn main() {
+    let mut cfg = CampaignConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => cfg.faults = 120,
+            "--faults" => cfg.faults = take("--faults").parse().expect("--faults N"),
+            "--seed" => cfg.seed = take("--seed").parse().expect("--seed S"),
+            "--scale" => cfg.scale = take("--scale").parse().expect("--scale F"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: fault-campaign [--quick] [--faults N] [--seed S] [--scale F]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_campaign(&cfg);
+    print!("{}", report.render());
+
+    let escapes = report.silent_escapes();
+    if escapes > 0 {
+        eprintln!("FAIL: {escapes} silent escape(s)");
+        std::process::exit(1);
+    }
+    println!("OK: zero silent escapes");
+}

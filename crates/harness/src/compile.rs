@@ -1,15 +1,26 @@
 //! The full compilation pipeline: lower → transformation level →
 //! superblock formation → list scheduling → register measurement.
+//!
+//! Two entry points produce runnable code: [`compile`] (the bare pipeline)
+//! and [`compile_guarded`], which routes every transformation pass *and*
+//! both backend steps through the `ilpc-guard` transformation firewall. On
+//! healthy input the two are bit-identical; on a faulty pass the guarded
+//! pipeline rolls back, degrades and reports instead of miscompiling.
 
+use crate::run::{cycle_budget, FLT_TOL};
 use ilpc_core::ablation::{apply_set, TransformSet};
 use ilpc_core::level::{apply_level, Level, TransformReport};
 use ilpc_core::unroll::UnrollConfig;
+use ilpc_guard::{guarded_apply_level, Guard, GuardConfig, GuardReport, Oracle, StepHook};
 use ilpc_ir::ast::VarId;
-use ilpc_ir::lower::lower;
+use ilpc_ir::interp::interpret;
+use ilpc_ir::lower::{lower, Lowered};
+use ilpc_ir::value::{ArrayVal, Value};
 use ilpc_ir::{Module, SymId};
 use ilpc_machine::Machine;
 use ilpc_regalloc::RegUsage;
 use ilpc_sched::{form_superblocks, schedule_module, SuperblockConfig, SuperblockReport};
+use ilpc_sim::{memory_from_init, SimLimits};
 use ilpc_workloads::Workload;
 use std::collections::HashMap;
 
@@ -56,6 +67,107 @@ pub fn compile_set(w: &Workload, set: &TransformSet, machine: &Machine) -> Compi
     let mut module = lowered.module;
     let report = apply_set(&mut module, set, &UnrollConfig::default());
     finish(module, lowered.shadow_syms, report, machine)
+}
+
+/// Differential-spot-check oracle for `w`: the AST interpreter's final
+/// arrays plus every assigned scalar's shadow symbol, with the workload's
+/// own initial data. Any corrupted module whose architectural results
+/// diverge from this reference is rejected by the firewall.
+pub fn workload_oracle(w: &Workload, lowered: &Lowered) -> Oracle {
+    let reference = interpret(&w.program, &w.init);
+    let mut expect: Vec<(SymId, ArrayVal)> = reference
+        .arrays
+        .iter()
+        .enumerate()
+        .map(|(k, v)| (SymId(k as u32), v.clone()))
+        .collect();
+    let mut shadows: Vec<_> = lowered.shadow_syms.iter().collect();
+    shadows.sort_by_key(|(_, sym)| sym.0);
+    for (var, sym) in shadows {
+        let want = match reference.scalars[var.0 as usize] {
+            Value::I(x) => ArrayVal::I(vec![x]),
+            Value::F(x) => ArrayVal::F(vec![x]),
+        };
+        expect.push((*sym, want));
+    }
+    Oracle {
+        // Architectural results are width-independent; spot-check on a
+        // fixed narrow machine regardless of the compilation target.
+        machine: Machine::issue(4),
+        init_mem: memory_from_init(&lowered.module.symtab, &w.init),
+        expect,
+        tol: FLT_TOL,
+        limits: SimLimits::cycles(cycle_budget(reference.stmts_executed)),
+    }
+}
+
+/// A guarded compilation: the surviving code plus the firewall's account
+/// of what happened.
+#[derive(Debug)]
+pub struct GuardedCompile {
+    pub compiled: Compiled,
+    pub guard: GuardReport,
+}
+
+/// Number of guarded steps [`compile_guarded`] runs at `level`: every
+/// level-pipeline pass plus the two backend steps.
+pub fn guarded_step_count(level: Level) -> usize {
+    ilpc_core::level::passes(level).count() + 2
+}
+
+/// Compile `w` at `level` through the transformation firewall.
+///
+/// Every level-pipeline pass runs as a guarded step, and so do superblock
+/// formation and list scheduling: a corrupted alias tag is architecturally
+/// invisible until the scheduler trusts it to reorder memory operations,
+/// so the backend must sit inside the firewall too. A failed backend step
+/// rolls back to the unscheduled module — a pure performance (never
+/// correctness) loss.
+///
+/// `hook` optionally corrupts the module inside a chosen step, exactly
+/// where a buggy pass would strike; the fault-injection campaign drives
+/// it. Production callers pass `None`.
+pub fn compile_guarded(
+    w: &Workload,
+    level: Level,
+    machine: &Machine,
+    cfg: GuardConfig,
+    hook: Option<StepHook<'_>>,
+) -> GuardedCompile {
+    let lowered = lower(&w.program);
+    let oracle = workload_oracle(w, &lowered);
+    let mut guard = Guard::new(cfg, Some(&oracle));
+    if let Some(h) = hook {
+        guard = guard.with_hook(h);
+    }
+
+    let mut module = lowered.module;
+    let report = guarded_apply_level(&mut module, level, &UnrollConfig::default(), &mut guard);
+
+    let mut superblocks = SuperblockReport::default();
+    let kept = guard.step(&mut module, "superblock-formation", |m| {
+        superblocks = form_superblocks(m, &SuperblockConfig::default());
+    });
+    if !kept {
+        superblocks = SuperblockReport::default();
+    }
+    guard.step(&mut module, "list-schedule", |m| {
+        schedule_module(m, machine);
+    });
+
+    let regs = ilpc_regalloc::measure(&module.func);
+    let static_insts = module.func.num_insts();
+    GuardedCompile {
+        compiled: Compiled {
+            module,
+            shadow: lowered.shadow_syms,
+            report,
+            superblocks,
+            regs,
+            static_insts,
+        },
+        guard: guard.report,
+    }
 }
 
 #[cfg(test)]

@@ -4,13 +4,23 @@
 //! threads with `std::thread::scope` and an atomic work counter (fork-join,
 //! no shared mutable state beyond the counter — data-race free by
 //! construction).
+//!
+//! Each point is additionally **fault-isolated**: a panic inside one
+//! point's compile/simulate path is contained with `catch_unwind` and
+//! becomes a typed [`GridError`] in the report, and the result mutex
+//! recovers from poisoning — one bad point can never take down the other
+//! 599 or abort the whole sweep.
 
 use crate::run::{evaluate, EvalPoint};
 use ilpc_core::level::Level;
+use ilpc_guard::panic_message;
+use ilpc_ir::{Module, Opcode};
 use ilpc_machine::{Machine, MemConfig};
 use ilpc_mem::MemStats;
 use ilpc_workloads::{build_all, Workload, WorkloadMeta};
 use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -28,6 +38,8 @@ pub struct GridConfig {
     /// Memory hierarchy applied to every machine in the grid (perfect by
     /// default — the paper's model).
     pub mem: MemConfig,
+    /// Deliberately break one point (fault drills and tests only).
+    pub sabotage: Option<Sabotage>,
 }
 
 impl Default for GridConfig {
@@ -40,7 +52,64 @@ impl Default for GridConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             mem: MemConfig::Perfect,
+            sabotage: None,
         }
+    }
+}
+
+/// Deliberate sabotage of one grid point. Used by tests and fault drills
+/// to prove the isolation property: the matching point degrades to a
+/// typed [`GridError`] while every other point completes normally.
+#[derive(Debug, Clone)]
+pub struct Sabotage {
+    pub workload: String,
+    pub level: Level,
+    pub width: u32,
+    pub mode: SabotageMode,
+}
+
+/// How a sabotaged point fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SabotageMode {
+    /// The point's evaluation panics mid-flight; per-point `catch_unwind`
+    /// must contain it.
+    Panic,
+    /// The compiled module's arithmetic is corrupted before execution; the
+    /// differential check must flag it.
+    Corrupt,
+}
+
+/// Why one grid point failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointError {
+    /// The differential evaluation rejected the point (wrong results,
+    /// simulator rejection, budget exhaustion).
+    Eval(String),
+    /// The point's compile/simulate path panicked; the panic was contained.
+    Panic(String),
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            PointError::Panic(e) => write!(f, "panicked (contained): {e}"),
+        }
+    }
+}
+
+/// A typed per-point failure in an otherwise-complete grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridError {
+    pub workload: String,
+    pub level: Level,
+    pub width: u32,
+    pub error: PointError,
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} issue-{}: {}", self.workload, self.level, self.width, self.error)
     }
 }
 
@@ -49,8 +118,10 @@ impl Default for GridConfig {
 pub struct Grid {
     pub meta: Vec<WorkloadMeta>,
     points: HashMap<(String, Level, u32), EvalPoint>,
-    /// Evaluation failures, if any (fail loudly in reports).
-    pub errors: Vec<String>,
+    /// Per-point failures, if any (fail loudly in reports). The grid
+    /// itself always completes: failed points are typed entries here, not
+    /// aborts.
+    pub errors: Vec<GridError>,
 }
 
 impl Grid {
@@ -138,6 +209,48 @@ impl Grid {
     }
 }
 
+/// Flip every addition to a subtraction — the kind of systematic
+/// miscompile a corrupted pass would produce. Guaranteed to be caught by
+/// the differential check (or the simulator) on any workload that
+/// computes anything.
+fn corrupt_arithmetic(m: &mut Module) {
+    let blocks: Vec<_> = m.func.layout_order().to_vec();
+    for b in blocks {
+        for inst in &mut m.func.block_mut(b).insts {
+            match inst.op {
+                Opcode::Add => inst.op = Opcode::Sub,
+                Opcode::FAdd => inst.op = Opcode::FSub,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Evaluate one point, honouring a matching sabotage directive.
+fn eval_point(
+    w: &Workload,
+    level: Level,
+    width: u32,
+    machine: &Machine,
+    sabotage: Option<&Sabotage>,
+) -> Result<EvalPoint, String> {
+    if let Some(s) = sabotage {
+        if s.workload == w.meta.name && s.level == level && s.width == width {
+            match s.mode {
+                SabotageMode::Panic => {
+                    panic!("sabotaged grid point: {} {level} issue-{width}", w.meta.name)
+                }
+                SabotageMode::Corrupt => {
+                    let mut c = crate::compile::compile(w, level, machine);
+                    corrupt_arithmetic(&mut c.module);
+                    return crate::run::run_compiled(w, &c, machine);
+                }
+            }
+        }
+    }
+    evaluate(w, level, machine)
+}
+
 /// Run the grid.
 pub fn run_grid(cfg: &GridConfig) -> Grid {
     let workloads: Vec<Workload> = build_all(cfg.scale);
@@ -154,7 +267,7 @@ pub fn run_grid(cfg: &GridConfig) -> Grid {
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<((String, Level, u32), Result<EvalPoint, String>)>> =
+    let results: Mutex<Vec<((String, Level, u32), Result<EvalPoint, PointError>)>> =
         Mutex::new(Vec::with_capacity(items.len()));
 
     std::thread::scope(|scope| {
@@ -168,22 +281,40 @@ pub fn run_grid(cfg: &GridConfig) -> Grid {
                     }
                     let (wi, level, width) = items[k];
                     let w = &workloads[wi];
-                    let r = evaluate(w, level, &Machine::issue(width).with_mem(cfg.mem));
+                    let machine = Machine::issue(width).with_mem(cfg.mem);
+                    // Per-point containment: a panic anywhere in this
+                    // point's pipeline becomes a typed error, not a dead
+                    // worker thread.
+                    let r = match catch_unwind(AssertUnwindSafe(|| {
+                        eval_point(w, level, width, &machine, cfg.sabotage.as_ref())
+                    })) {
+                        Ok(Ok(p)) => Ok(p),
+                        Ok(Err(e)) => Err(PointError::Eval(e)),
+                        Err(payload) => Err(PointError::Panic(panic_message(payload))),
+                    };
                     local.push(((w.meta.name.to_string(), level, width), r));
                 }
-                results.lock().unwrap().extend(local);
+                // A sibling worker that panicked outside the contained
+                // region poisons the mutex; the data is still consistent
+                // (extend is all-or-nothing per point list), so recover.
+                results
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .extend(local);
             });
         }
     });
 
     let mut points = HashMap::new();
     let mut errors = Vec::new();
-    for (key, r) in results.into_inner().unwrap() {
+    let collected =
+        results.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner());
+    for ((workload, level, width), r) in collected {
         match r {
             Ok(p) => {
-                points.insert(key, p);
+                points.insert((workload, level, width), p);
             }
-            Err(e) => errors.push(format!("{key:?}: {e}")),
+            Err(error) => errors.push(GridError { workload, level, width, error }),
         }
     }
     Grid { meta, points, errors }
@@ -203,6 +334,7 @@ mod tests {
             widths: vec![1, 8],
             threads: 4,
             mem: MemConfig::Perfect,
+            sabotage: None,
         };
         let grid = run_grid(&cfg);
         assert!(grid.errors.is_empty(), "{:#?}", grid.errors);
@@ -234,6 +366,51 @@ mod tests {
         assert_eq!(grid.hit_rate(grid.meta.iter().map(|m| m.name), Level::Lev2, 8), 1.0);
     }
 
+    /// One sabotaged point must degrade to a typed error while every
+    /// other point completes — for both failure shapes (contained panic
+    /// and corrupted-output rejection).
+    #[test]
+    fn sabotaged_point_is_isolated_and_typed() {
+        for mode in [SabotageMode::Panic, SabotageMode::Corrupt] {
+            let cfg = GridConfig {
+                scale: 0.02,
+                levels: vec![Level::Conv, Level::Lev2],
+                widths: vec![1, 8],
+                threads: 4,
+                mem: MemConfig::Perfect,
+                sabotage: Some(Sabotage {
+                    workload: "dotprod".to_string(),
+                    level: Level::Lev2,
+                    width: 8,
+                    mode,
+                }),
+            };
+            let grid = run_grid(&cfg);
+            assert_eq!(grid.errors.len(), 1, "{mode:?}: {:#?}", grid.errors);
+            let err = &grid.errors[0];
+            assert_eq!(err.workload, "dotprod");
+            assert_eq!((err.level, err.width), (Level::Lev2, 8));
+            match (mode, &err.error) {
+                (SabotageMode::Panic, PointError::Panic(msg)) => {
+                    assert!(msg.contains("sabotaged grid point"), "{msg}");
+                }
+                (SabotageMode::Corrupt, PointError::Eval(_)) => {}
+                other => panic!("wrong error shape: {other:?}"),
+            }
+            // The sabotaged point is absent; every other point completed.
+            assert!(grid.point("dotprod", Level::Lev2, 8).is_none());
+            let mut present = 0;
+            for m in &grid.meta {
+                for level in [Level::Conv, Level::Lev2] {
+                    for width in [1u32, 8] {
+                        present += grid.point(m.name, level, width).is_some() as usize;
+                    }
+                }
+            }
+            assert_eq!(present, 40 * 2 * 2 - 1, "{mode:?}");
+        }
+    }
+
     /// The grid under a finite cache: still differentially correct, with
     /// consistent per-point cache statistics.
     #[test]
@@ -245,6 +422,7 @@ mod tests {
             widths: vec![1, 8],
             threads: 4,
             mem: MemConfig::Cache(CacheParams::small()),
+            sabotage: None,
         };
         let grid = run_grid(&cfg);
         assert!(grid.errors.is_empty(), "{:#?}", grid.errors);

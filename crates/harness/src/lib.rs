@@ -6,6 +6,7 @@
 //! figures (Tables 1-2, Figures 8-15, the §3.2/§4 summary statistics, and
 //! the §2 worked examples).
 
+pub mod campaign;
 pub mod compile;
 pub mod examples_paper;
 pub mod figures;
@@ -13,7 +14,8 @@ pub mod grid;
 pub mod profile;
 pub mod run;
 
-pub use compile::{compile, compile_set, Compiled};
-pub use grid::{run_grid, Grid, GridConfig};
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Outcome};
+pub use compile::{compile, compile_guarded, compile_set, Compiled, GuardedCompile};
+pub use grid::{run_grid, Grid, GridConfig, GridError, PointError, Sabotage, SabotageMode};
 pub use profile::{compile_with_profile, evaluate_with_profile};
 pub use run::{evaluate, evaluate_set, run_compiled, EvalPoint};

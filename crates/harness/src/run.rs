@@ -9,7 +9,7 @@ use ilpc_ir::SymId;
 use ilpc_machine::Machine;
 use ilpc_mem::MemStats;
 use ilpc_regalloc::RegUsage;
-use ilpc_sim::{memory_from_init, read_symbol, simulate};
+use ilpc_sim::{memory_from_init, read_symbol, simulate_limited, SimLimits};
 use ilpc_workloads::Workload;
 
 /// Relative tolerance for floating point result comparison. Expansion
@@ -44,8 +44,11 @@ pub fn run_compiled(
 ) -> Result<EvalPoint, String> {
     let mem = memory_from_init(&compiled.module.symtab, &w.init);
     let reference = interpret(&w.program, &w.init);
-    let budget = cycle_budget(reference.stmts_executed);
-    let res = simulate(&compiled.module, machine, mem, budget)
+    // Explicit budgets: the cycle limit bounds wall-clock, the derived
+    // dynamic-instruction watchdog catches runaway wide-issue work that
+    // burns few cycles but unbounded instructions.
+    let limits = SimLimits::cycles(cycle_budget(reference.stmts_executed));
+    let res = simulate_limited(&compiled.module, machine, mem, limits)
         .map_err(|e| format!("{}: {e}", w.meta.name))?;
 
     // Differential check: arrays...
@@ -119,17 +122,21 @@ mod tests {
     /// test suite.
     #[test]
     fn representative_loops_correct_at_all_levels() {
+        // Collect every failing point instead of aborting on the first —
+        // one broken configuration shouldn't hide the rest of the matrix.
+        let mut failures = Vec::new();
         for name in ["add", "dotprod", "maxval", "merge", "LWS-1", "SDS-4"] {
             let meta = table2().into_iter().find(|m| m.name == name).unwrap();
             let w = build(&meta, 0.04);
             for level in Level::ALL {
                 for width in [1, 4] {
-                    evaluate(&w, level, &Machine::issue(width)).unwrap_or_else(
-                        |e| panic!("{name} {level} issue-{width}: {e}"),
-                    );
+                    if let Err(e) = evaluate(&w, level, &Machine::issue(width)) {
+                        failures.push(format!("{name} {level} issue-{width}: {e}"));
+                    }
                 }
             }
         }
+        assert!(failures.is_empty(), "{} failing points:\n{}", failures.len(), failures.join("\n"));
     }
 
     /// The budget never wraps, no matter how large the reference

@@ -240,4 +240,123 @@ mod tests {
         m.func.block_mut(b).insts.push(Inst::halt());
         assert!(verify_module(&m).is_err());
     }
+
+    /// A well-formed module with a loop, a load, a store and a branch —
+    /// one eligible site for every structural fault class the
+    /// fault-injection engine can produce.
+    fn wellformed_loop() -> Module {
+        let mut m = Module::new("loop");
+        let a = m.symtab.declare("A", 8, RegClass::Flt);
+        let out = m.symtab.declare("out", 1, RegClass::Flt);
+        let entry = m.func.add_block("entry");
+        let body = m.func.add_block("body");
+        let exit = m.func.add_block("exit");
+        let i = m.func.new_reg(RegClass::Int);
+        let s = m.func.new_reg(RegClass::Flt);
+        let x = m.func.new_reg(RegClass::Flt);
+        m.func.block_mut(entry).insts.extend([
+            Inst::mov(i, Operand::ImmI(0)),
+            Inst::mov(s, Operand::ImmF(0.0)),
+        ]);
+        m.func.block_mut(body).insts.extend([
+            Inst::load(x, Operand::Sym(a), i.into(), MemLoc::affine(a, 1, 0)),
+            Inst::alu(Opcode::FAdd, s, s.into(), x.into()),
+            Inst::alu(Opcode::Add, i, i.into(), Operand::ImmI(1)),
+            Inst::br(crate::op::Cond::Lt, i.into(), Operand::ImmI(8), body),
+        ]);
+        m.func.block_mut(exit).insts.extend([
+            Inst::store(Operand::Sym(out), Operand::ImmI(0), s.into(), MemLoc::affine(out, 0, 0)),
+            Inst::halt(),
+        ]);
+        verify_module(&m).expect("base module must be well-formed");
+        m
+    }
+
+    /// Every structural corruption the fault injector can produce must be
+    /// rejected — each case mirrors one injectable fault class.
+    #[test]
+    fn rejects_every_injectable_structural_fault() {
+        let body = BlockId(1);
+        let exit = BlockId(2);
+        let cases: Vec<(&str, Box<dyn Fn(&mut Module)>)> = vec![
+            // Undefined register use: a use beyond the allocation counter.
+            ("undefined int reg use", Box::new(move |m| {
+                m.func.block_mut(body).insts[2].src[0] = Operand::Reg(Reg::int(999));
+            })),
+            ("undefined flt reg def", Box::new(move |m| {
+                m.func.block_mut(body).insts[1].dst = Some(Reg::flt(999));
+            })),
+            // Register-class flips (the `RegClassFlip` fault).
+            ("alu dst class flip", Box::new(move |m| {
+                let d = m.func.block_mut(body).insts[1].dst.unwrap();
+                m.func.block_mut(body).insts[1].dst = Some(Reg { class: RegClass::Int, ..d });
+            })),
+            ("alu src class flip", Box::new(move |m| {
+                m.func.block_mut(body).insts[2].src[1] = Operand::ImmF(1.0);
+            })),
+            ("load addr class flip", Box::new(move |m| {
+                m.func.block_mut(body).insts[0].src[1] = Operand::ImmF(0.0);
+            })),
+            ("store value class flip", Box::new(move |m| {
+                m.func.block_mut(exit).insts[0].src[2] = Operand::ImmI(7);
+            })),
+            ("mixed-class branch compare", Box::new(move |m| {
+                m.func.block_mut(body).insts[3].src[1] = Operand::ImmF(8.0);
+            })),
+            // Dangling block target (the `DropEdge` fault).
+            ("dangling branch target", Box::new(move |m| {
+                m.func.block_mut(body).insts[3].target = Some(BlockId(u32::MAX - 1));
+            })),
+            ("deleted final transfer", Box::new(move |m| {
+                m.func.block_mut(exit).insts.pop();
+            })),
+            // Malformed operand arity.
+            ("alu missing operand", Box::new(move |m| {
+                m.func.block_mut(body).insts[1].src[1] = Operand::None;
+            })),
+            ("store missing value", Box::new(move |m| {
+                m.func.block_mut(exit).insts[0].src[2] = Operand::None;
+            })),
+            ("branch without target", Box::new(move |m| {
+                m.func.block_mut(body).insts[3].target = None;
+            })),
+            ("non-branch with target", Box::new(move |m| {
+                m.func.block_mut(body).insts[2].target = Some(body);
+            })),
+            ("mov without dst", Box::new(move |m| {
+                m.func.block_mut(BlockId(0)).insts[0].dst = None;
+            })),
+            // Dropped memory tags (the `AliasTag` drop case).
+            ("load without mem tag", Box::new(move |m| {
+                m.func.block_mut(body).insts[0].mem = None;
+            })),
+            ("store without mem tag", Box::new(move |m| {
+                m.func.block_mut(exit).insts[0].mem = None;
+            })),
+            // Load/store symbol class inconsistency.
+            ("load symbol class mismatch", Box::new(move |m| {
+                let d = m.func.block_mut(body).insts[0].dst.unwrap();
+                m.func.block_mut(body).insts[0].dst = Some(Reg { class: RegClass::Int, ..d });
+            })),
+        ];
+        for (name, corrupt) in cases {
+            let mut m = wellformed_loop();
+            corrupt(&mut m);
+            let res = verify_module(&m);
+            assert!(res.is_err(), "{name}: corruption slipped past the verifier");
+        }
+    }
+
+    /// Verifier errors carry usable coordinates (block + instruction).
+    #[test]
+    fn error_coordinates_point_at_the_fault() {
+        let mut m = wellformed_loop();
+        let body = BlockId(1);
+        m.func.block_mut(body).insts[3].target = Some(BlockId(u32::MAX - 1));
+        let e = verify_module(&m).unwrap_err();
+        assert_eq!(e.block, body);
+        assert_eq!(e.index, 3);
+        assert!(e.message.contains("not in layout"), "{e}");
+        assert!(e.to_string().contains("inst 3"), "{e}");
+    }
 }

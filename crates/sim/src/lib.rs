@@ -64,11 +64,16 @@ pub struct SimResult {
 pub enum SimError {
     /// The cycle budget was exhausted (runaway loop — a compiler bug).
     CycleLimit(u64),
+    /// The dynamic-instruction watchdog fired: the program executed more
+    /// instructions than any legitimate compilation could need (a runaway
+    /// wide-issue loop whose cycle count stays deceptively low).
+    DynInstLimit(u64),
     /// Control fell off the end of a block with no fall-through.
     FellOffEnd(BlockId),
     /// An instruction is structurally invalid (e.g. a hand-edited or
-    /// truncated `.ilpc` module): missing destination register, memory
-    /// tag or branch target.
+    /// truncated `.ilpc` module, or a corrupted pass output): missing
+    /// destination register, memory tag or branch target, an empty or
+    /// wrong-class operand, or an out-of-range register id.
     Malformed {
         block: BlockId,
         index: usize,
@@ -80,6 +85,9 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::CycleLimit(n) => write!(f, "cycle limit {n} exhausted"),
+            SimError::DynInstLimit(n) => {
+                write!(f, "dynamic instruction limit {n} exhausted")
+            }
             SimError::FellOffEnd(b) => write!(f, "fell off the end of {b}"),
             SimError::Malformed { block, index, reason } => {
                 write!(f, "malformed instruction {block}[{index}]: {reason}")
@@ -89,6 +97,27 @@ impl std::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// Execution budgets for one simulation.
+///
+/// The cycle limit catches runaway loops; the dynamic-instruction watchdog
+/// additionally bounds total *work*, which matters on wide machines where a
+/// runaway straight-line region can execute many instructions per cycle and
+/// ride under a pure cycle budget for a long time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimLimits {
+    pub max_cycles: u64,
+    pub max_dyn_insts: u64,
+}
+
+impl SimLimits {
+    /// Limits derived from a cycle budget alone: the watchdog allows up to
+    /// 16 executed instructions per budgeted cycle, far above any
+    /// legitimate sustained IPC of the modeled machines.
+    pub fn cycles(max_cycles: u64) -> SimLimits {
+        SimLimits { max_cycles, max_dyn_insts: max_cycles.saturating_mul(16) }
+    }
+}
 
 /// Build the initial flat memory for `symtab` from `init` (arrays are the
 /// leading symbols in declaration order; all other symbols start zeroed).
@@ -140,51 +169,97 @@ struct Cpu {
 }
 
 impl Cpu {
-    fn reg_value(&self, r: Reg) -> Value {
+    // Every accessor is total: a malformed module (empty operand slot,
+    // out-of-range register id, wrong-class operand) surfaces as a reason
+    // string that `simulate` wraps into `SimError::Malformed` with the
+    // instruction's coordinates, never as a panic.
+    fn reg_value(&self, r: Reg) -> Result<Value, &'static str> {
         match r.class {
-            RegClass::Int => Value::I(self.int[r.id as usize]),
-            RegClass::Flt => Value::F(self.flt[r.id as usize]),
+            RegClass::Int => {
+                self.int.get(r.id as usize).map(|&v| Value::I(v)).ok_or("register id out of range")
+            }
+            RegClass::Flt => {
+                self.flt.get(r.id as usize).map(|&v| Value::F(v)).ok_or("register id out of range")
+            }
         }
     }
 
-    fn operand(&self, o: Operand) -> Value {
+    fn operand(&self, o: Operand) -> Result<Value, &'static str> {
         match o {
             Operand::Reg(r) => self.reg_value(r),
-            Operand::ImmI(v) => Value::I(v),
-            Operand::ImmF(v) => Value::F(v),
-            Operand::Sym(s) => Value::I(self.bases[s.0 as usize] as i64),
-            Operand::None => panic!("reading empty operand"),
+            Operand::ImmI(v) => Ok(Value::I(v)),
+            Operand::ImmF(v) => Ok(Value::F(v)),
+            Operand::Sym(s) => self
+                .bases
+                .get(s.0 as usize)
+                .map(|&b| Value::I(b as i64))
+                .ok_or("unknown symbol operand"),
+            Operand::None => Err("reading empty operand"),
         }
     }
 
-    fn write(&mut self, r: Reg, v: Value, ready_at: u64) {
+    fn int_operand(&self, o: Operand) -> Result<i64, &'static str> {
+        match self.operand(o)? {
+            Value::I(v) => Ok(v),
+            Value::F(_) => Err("float operand where integer expected"),
+        }
+    }
+
+    fn flt_operand(&self, o: Operand) -> Result<f64, &'static str> {
+        match self.operand(o)? {
+            Value::F(v) => Ok(v),
+            Value::I(_) => Err("integer operand where float expected"),
+        }
+    }
+
+    fn write(&mut self, r: Reg, v: Value, ready_at: u64) -> Result<(), &'static str> {
         match (r.class, v) {
-            (RegClass::Int, Value::I(x)) => self.int[r.id as usize] = x,
-            (RegClass::Flt, Value::F(x)) => self.flt[r.id as usize] = x,
-            (c, v) => panic!("class mismatch writing {v:?} to {c} register"),
+            (RegClass::Int, Value::I(x)) => {
+                *self.int.get_mut(r.id as usize).ok_or("register id out of range")? = x;
+            }
+            (RegClass::Flt, Value::F(x)) => {
+                *self.flt.get_mut(r.id as usize).ok_or("register id out of range")? = x;
+            }
+            _ => return Err("class mismatch on register write"),
         }
         self.ready[r.class.index()][r.id as usize] = ready_at;
+        Ok(())
     }
 
-    fn ready_at(&self, r: Reg) -> u64 {
-        self.ready[r.class.index()][r.id as usize]
+    fn ready_at(&self, r: Reg) -> Result<u64, &'static str> {
+        self.ready[r.class.index()]
+            .get(r.id as usize)
+            .copied()
+            .ok_or("register id out of range")
     }
 
     /// Effective address of a memory instruction.
-    fn address(&self, inst: &Inst) -> i64 {
-        let base = self.operand(inst.src[0]).as_i();
-        let off = self.operand(inst.src[1]).as_i();
-        base.wrapping_add(off).wrapping_add(inst.ext)
+    fn address(&self, inst: &Inst) -> Result<i64, &'static str> {
+        let base = self.int_operand(inst.src[0])?;
+        let off = self.int_operand(inst.src[1])?;
+        Ok(base.wrapping_add(off).wrapping_add(inst.ext))
     }
 }
 
-/// Execute `m` on `machine` starting from `init_mem`.
+/// Execute `m` on `machine` starting from `init_mem`, with a cycle budget
+/// and the default work watchdog (see [`SimLimits::cycles`]).
 pub fn simulate(
     m: &Module,
     machine: &Machine,
     init_mem: Vec<u64>,
     max_cycles: u64,
 ) -> Result<SimResult, SimError> {
+    simulate_limited(m, machine, init_mem, SimLimits::cycles(max_cycles))
+}
+
+/// Execute `m` on `machine` starting from `init_mem` under explicit limits.
+pub fn simulate_limited(
+    m: &Module,
+    machine: &Machine,
+    init_mem: Vec<u64>,
+    limits: SimLimits,
+) -> Result<SimResult, SimError> {
+    let max_cycles = limits.max_cycles;
     let f = &m.func;
     let (bases, total) = m.symtab.layout();
     let mut init_mem = init_mem;
@@ -250,11 +325,11 @@ pub fn simulate(
             // Earliest issue by interlocks.
             let mut t = cursor;
             for r in inst.uses() {
-                t = t.max(cpu.ready_at(r));
+                t = t.max(cpu.ready_at(r).map_err(malformed)?);
             }
             if let Some(d) = inst.def() {
                 // WAW: completion order (t + lat >= prev_ready + 1).
-                t = t.max((cpu.ready_at(d) + 1).saturating_sub(lat));
+                t = t.max((cpu.ready_at(d).map_err(malformed)? + 1).saturating_sub(lat));
             }
             if inst.op == Opcode::Load {
                 // Same-cycle aliasing store forces +1 (store visible at
@@ -305,12 +380,15 @@ pub fn simulate(
                 return Err(SimError::CycleLimit(max_cycles));
             }
             cpu.dyn_insts += 1;
+            if cpu.dyn_insts > limits.max_dyn_insts {
+                return Err(SimError::DynInstLimit(limits.max_dyn_insts));
+            }
 
             // Execute.
             match inst.op {
                 Opcode::Mov => {
-                    let v = cpu.operand(inst.src[0]);
-                    cpu.write(dst()?, v, t + lat);
+                    let v = cpu.operand(inst.src[0]).map_err(malformed)?;
+                    cpu.write(dst()?, v, t + lat).map_err(malformed)?;
                 }
                 Opcode::Add
                 | Opcode::Sub
@@ -322,26 +400,28 @@ pub fn simulate(
                 | Opcode::Mul
                 | Opcode::Div
                 | Opcode::Rem => {
-                    let a = cpu.operand(inst.src[0]).as_i();
-                    let b = cpu.operand(inst.src[1]).as_i();
-                    cpu.write(dst()?, Value::I(eval_int(inst.op, a, b)), t + lat);
+                    let a = cpu.int_operand(inst.src[0]).map_err(malformed)?;
+                    let b = cpu.int_operand(inst.src[1]).map_err(malformed)?;
+                    cpu.write(dst()?, Value::I(eval_int(inst.op, a, b)), t + lat)
+                        .map_err(malformed)?;
                 }
                 Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv => {
-                    let a = cpu.operand(inst.src[0]).as_f();
-                    let b = cpu.operand(inst.src[1]).as_f();
-                    cpu.write(dst()?, Value::F(eval_flt(inst.op, a, b)), t + lat);
+                    let a = cpu.flt_operand(inst.src[0]).map_err(malformed)?;
+                    let b = cpu.flt_operand(inst.src[1]).map_err(malformed)?;
+                    cpu.write(dst()?, Value::F(eval_flt(inst.op, a, b)), t + lat)
+                        .map_err(malformed)?;
                 }
                 Opcode::CvtIF => {
-                    let a = cpu.operand(inst.src[0]).as_i();
-                    cpu.write(dst()?, Value::F(a as f64), t + lat);
+                    let a = cpu.int_operand(inst.src[0]).map_err(malformed)?;
+                    cpu.write(dst()?, Value::F(a as f64), t + lat).map_err(malformed)?;
                 }
                 Opcode::CvtFI => {
-                    let a = cpu.operand(inst.src[0]).as_f();
-                    cpu.write(dst()?, Value::I(a as i64), t + lat);
+                    let a = cpu.flt_operand(inst.src[0]).map_err(malformed)?;
+                    cpu.write(dst()?, Value::I(a as i64), t + lat).map_err(malformed)?;
                 }
                 Opcode::Load => {
                     let d = dst()?;
-                    let addr = cpu.address(inst);
+                    let addr = cpu.address(inst).map_err(malformed)?;
                     // Non-excepting: out-of-range reads return zero.
                     let bits = if addr >= 0 && (addr as usize) < cpu.mem.len() {
                         cpu.mem[addr as usize]
@@ -351,12 +431,14 @@ pub fn simulate(
                     // A cache miss delays only this load's result (the
                     // cache is non-blocking for loads); issue continues.
                     let extra = memsys.access(Access::Load, addr as u64);
-                    cpu.write(d, Value::from_bits(bits, d.class), t + lat + extra);
+                    cpu.write(d, Value::from_bits(bits, d.class), t + lat + extra)
+                        .map_err(malformed)?;
                 }
                 Opcode::Store => {
-                    let addr = cpu.address(inst);
+                    let addr = cpu.address(inst).map_err(malformed)?;
+                    let val = cpu.operand(inst.src[2]).map_err(malformed)?;
                     if addr >= 0 && (addr as usize) < cpu.mem.len() {
-                        cpu.mem[addr as usize] = cpu.operand(inst.src[2]).to_bits();
+                        cpu.mem[addr as usize] = val.to_bits();
                     }
                     let tag = mem_tag()?;
                     cpu.recent_stores.push((tag, t));
@@ -375,10 +457,12 @@ pub fn simulate(
                     }
                 }
                 Opcode::Br(c) => {
-                    let taken = match (cpu.operand(inst.src[0]), cpu.operand(inst.src[1])) {
+                    let lhs = cpu.operand(inst.src[0]).map_err(malformed)?;
+                    let rhs = cpu.operand(inst.src[1]).map_err(malformed)?;
+                    let taken = match (lhs, rhs) {
                         (Value::I(a), Value::I(b)) => c.eval(a, b),
                         (Value::F(a), Value::F(b)) => c.eval(a, b),
-                        _ => panic!("mixed-class branch comparison"),
+                        _ => return Err(malformed("mixed-class branch comparison")),
                     };
                     {
                         let e = branch_profile.entry((cur.0, inst_idx)).or_insert((0, 0));
@@ -662,6 +746,103 @@ mod tests {
                     assert_eq!(block, BlockId(0));
                     assert_eq!(reason, want);
                 }
+                other => panic!("expected Malformed({want}), got {other:?}"),
+            }
+        }
+    }
+
+    /// The watchdog catches runaway *work* under a generous cycle budget:
+    /// a wide machine retiring many instructions per cycle trips the
+    /// dynamic-instruction limit long before the cycle limit.
+    #[test]
+    fn dyn_inst_watchdog_fires_on_runaway_wide_loop() {
+        let mut m = Module::new("t");
+        let f = &mut m.func;
+        let regs: Vec<Reg> = (0..16).map(|_| f.new_reg(RegClass::Int)).collect();
+        let b0 = f.add_block("b0");
+        let mut insts: Vec<Inst> =
+            regs.iter().map(|&r| Inst::mov(r, Operand::ImmI(1))).collect();
+        insts.push(Inst::jump(b0));
+        f.block_mut(b0).insts = insts;
+        let limits = SimLimits { max_cycles: 1_000_000, max_dyn_insts: 1_000 };
+        match simulate_limited(&m, &Machine::unlimited(), vec![], limits) {
+            Err(SimError::DynInstLimit(1_000)) => {}
+            other => panic!("expected dyn-inst limit, got {other:?}"),
+        }
+        // The default derived watchdog never fires on a legitimate run.
+        assert_eq!(SimLimits::cycles(100).max_dyn_insts, 1_600);
+        assert_eq!(SimLimits::cycles(u64::MAX).max_dyn_insts, u64::MAX);
+    }
+
+    /// Wrong-class and empty operands surface as `SimError::Malformed`
+    /// (previously panics): an empty ALU slot, a float register fed to an
+    /// integer add, a class-mismatched write, a mixed-class branch compare,
+    /// and an out-of-range register id.
+    #[test]
+    fn operand_and_class_corruption_is_a_structured_error() {
+        let run = |edit: fn(&mut Inst, Reg, Reg)| {
+            let mut m = Module::new("t");
+            let out = m.symtab.declare("out", 1, RegClass::Int);
+            let f = &mut m.func;
+            let ri = f.new_reg(RegClass::Int);
+            let rf = f.new_reg(RegClass::Flt);
+            let blk = f.add_block("b");
+            let mut insts = vec![
+                Inst::mov(ri, Operand::ImmI(3)),
+                Inst::mov(rf, Operand::ImmF(1.5)),
+                Inst::alu(Opcode::Add, ri, ri.into(), Operand::ImmI(1)),
+                Inst::br(Cond::Lt, ri.into(), Operand::ImmI(0), blk),
+                Inst::store(
+                    Operand::Sym(out),
+                    Operand::ImmI(0),
+                    ri.into(),
+                    MemLoc::affine(out, 0, 0),
+                ),
+                Inst::halt(),
+            ];
+            edit(&mut insts[2], ri, rf);
+            edit(&mut insts[3], ri, rf);
+            f.block_mut(blk).insts = insts;
+            simulate(&m, &Machine::issue(2), vec![0], 1000)
+        };
+        let cases: [(fn(&mut Inst, Reg, Reg), &str); 5] = [
+            (|i, _, _| i.src[0] = Operand::None, "reading empty operand"),
+            (
+                |i, _, rf| {
+                    if i.op == Opcode::Add {
+                        i.src[0] = rf.into();
+                    }
+                },
+                "float operand where integer expected",
+            ),
+            (
+                |i, _, rf| {
+                    if i.op == Opcode::Add {
+                        i.dst = Some(rf);
+                    }
+                },
+                "class mismatch on register write",
+            ),
+            (
+                |i, _, rf| {
+                    if i.op.is_branch() {
+                        i.src[0] = rf.into();
+                    }
+                },
+                "mixed-class branch comparison",
+            ),
+            (
+                |i, _, _| {
+                    if i.op == Opcode::Add {
+                        i.dst = Some(Reg::int(4096));
+                    }
+                },
+                "register id out of range",
+            ),
+        ];
+        for (edit, want) in cases {
+            match run(edit) {
+                Err(SimError::Malformed { reason, .. }) => assert_eq!(reason, want),
                 other => panic!("expected Malformed({want}), got {other:?}"),
             }
         }

@@ -48,4 +48,11 @@ echo "== cache-sensitivity smoke (reduced grid) =="
 # asserts accesses == hits + misses on every grid point).
 cargo run --release --offline -p ilpc-harness --bin cache-sensitivity -- --scale 0.02 --quick
 
+echo "== fault-injection campaign smoke =="
+# The transformation firewall end-to-end: 120 seeded faults injected into
+# guarded compilations across the 40 workloads. Deterministic (fixed seed)
+# and self-checking: the bin exits nonzero if any fault silently escapes
+# (wrong architectural results with nothing flagged).
+cargo run --release --offline -p ilpc-harness --bin fault-campaign -- --quick --seed 7
+
 echo "verify: OK"

@@ -26,6 +26,7 @@
 
 pub use ilpc_analysis as analysis;
 pub use ilpc_core as core_transforms;
+pub use ilpc_guard as guard;
 pub use ilpc_harness as harness;
 pub use ilpc_ir as ir;
 pub use ilpc_machine as machine;
@@ -40,8 +41,10 @@ pub use ilpc_workloads as workloads;
 pub mod prelude {
     pub use ilpc_core::level::{apply_level, Level, TransformReport};
     pub use ilpc_core::unroll::UnrollConfig;
-    pub use ilpc_harness::compile::compile;
-    pub use ilpc_harness::grid::{run_grid, GridConfig};
+    pub use ilpc_guard::{Guard, GuardConfig, GuardErrorKind, GuardReport, Oracle};
+    pub use ilpc_harness::campaign::{run_campaign, CampaignConfig, Outcome};
+    pub use ilpc_harness::compile::{compile, compile_guarded};
+    pub use ilpc_harness::grid::{run_grid, GridConfig, Sabotage, SabotageMode};
     pub use ilpc_harness::run::{evaluate, EvalPoint};
     pub use ilpc_ir::ast::{Bound, Expr, Index, Program, Stmt};
     pub use ilpc_ir::interp::{interpret, DataInit};
