@@ -15,8 +15,10 @@
 use ilpc_core::level::Level;
 use ilpc_harness::compile::compile;
 use ilpc_harness::grid::{run_grid, GridConfig};
+use ilpc_harness::ArtifactCache;
 use ilpc_machine::{CacheParams, Machine, MemConfig};
-use ilpc_sim::{memory_from_init, simulate};
+use ilpc_sim::reference::simulate_reference;
+use ilpc_sim::{decode, memory_from_init, simulate, simulate_decoded, SimLimits};
 use ilpc_testkit::bench::Harness;
 use ilpc_workloads::{build, table2};
 
@@ -50,6 +52,14 @@ fn bench_grid_wall(h: &mut Harness) {
 fn bench_sim_throughput(h: &mut Harness) {
     // Raw simulator throughput, perfect memory vs a finite cache — the
     // per-access model cost is the hot-path regression to watch.
+    //
+    // Three engine regimes per memory model, same workload and machine:
+    //  - `*/sim_cycles_legacy`     — the tree-walking reference interpreter
+    //    (`ilpc_sim::reference`, the executable specification);
+    //  - `*/sim_cycles`            — the default entry point: one decode
+    //    pass + the pre-decoded engine (what `simulate` does today);
+    //  - `*/sim_cycles_predecoded` — decode hoisted out of the loop, i.e.
+    //    the steady state an [`ArtifactCache`] sweep runs in.
     let meta = table2().into_iter().find(|m| m.name == "NAS-3").unwrap();
     let w = build(&meta, 0.25);
     for (tag, machine) in [
@@ -61,8 +71,21 @@ fn bench_sim_throughput(h: &mut Harness) {
         let cycles = simulate(&compiled.module, &machine, mem.clone(), u64::MAX)
             .unwrap()
             .cycles;
+        // The engines must agree before their throughput is comparable.
+        let legacy = simulate_reference(&compiled.module, &machine, mem.clone(), u64::MAX)
+            .unwrap()
+            .cycles;
+        assert_eq!(cycles, legacy, "{tag}: engine cycle counts diverge");
+        h.bench_elems(&format!("{tag}/sim_cycles_legacy"), cycles, || {
+            simulate_reference(&compiled.module, &machine, mem.clone(), u64::MAX).unwrap()
+        });
         h.bench_elems(&format!("{tag}/sim_cycles"), cycles, || {
             simulate(&compiled.module, &machine, mem.clone(), u64::MAX).unwrap()
+        });
+        let decoded = decode(&compiled.module, &machine);
+        h.bench_elems(&format!("{tag}/sim_cycles_predecoded"), cycles, || {
+            simulate_decoded(&decoded, &machine, mem.clone(), SimLimits::cycles(u64::MAX))
+                .unwrap()
         });
     }
     // Make sure the cached machine really differs from the perfect one.
@@ -70,6 +93,43 @@ fn bench_sim_throughput(h: &mut Harness) {
         Machine::issue(8).with_cache(CacheParams::small()).mem,
         MemConfig::Perfect
     ));
+}
+
+fn bench_artifact_sweep(h: &mut Harness) {
+    // A memory-hierarchy sweep varies only simulator-side parameters, so
+    // a shared [`ArtifactCache`] compiles each (workload, level) exactly
+    // once and serves every further memory configuration from cache.
+    // `elems` counts the cache hits per iteration — lookups that skipped a
+    // compile+decode — so `Melem/s` here is "deduplicated work per second".
+    let workloads: Vec<_> = table2().into_iter().take(6).map(|m| build(&m, 0.05)).collect();
+    let levels = [Level::Lev2, Level::Lev4];
+    let mems = [
+        MemConfig::Perfect,
+        MemConfig::Cache(CacheParams::small()),
+        MemConfig::Cache(CacheParams::new(4, 8, 2, 30, 10)),
+    ];
+    let expected_compiles = (workloads.len() * levels.len()) as u64;
+    let expected_hits = expected_compiles * (mems.len() as u64 - 1);
+    h.bench_elems("artifact_sweep/wall", expected_hits, || {
+        let cache = ArtifactCache::new();
+        for w in &workloads {
+            for &level in &levels {
+                for mem in mems {
+                    let machine = Machine::issue(8).with_mem(mem);
+                    cache.evaluate(w, level, &machine).unwrap();
+                }
+            }
+        }
+        let c = cache.counters();
+        assert_eq!(c.compiles, expected_compiles, "{c:?}");
+        assert_eq!(c.hits, expected_hits, "{c:?}");
+        c
+    });
+    println!(
+        "artifact_sweep: {expected_compiles} compiles serve \
+         {} evaluations per iteration",
+        expected_compiles + expected_hits
+    );
 }
 
 fn main() {
@@ -80,5 +140,6 @@ fn main() {
     let mut h = Harness::new("grid");
     bench_grid_wall(&mut h);
     bench_sim_throughput(&mut h);
+    bench_artifact_sweep(&mut h);
     h.finish();
 }

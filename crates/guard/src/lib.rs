@@ -156,6 +156,12 @@ impl GuardReport {
 /// for the workload being compiled). Timing is irrelevant here — any
 /// machine width yields the same architectural results — so `machine` can
 /// be a fixed narrow configuration regardless of the compilation target.
+///
+/// Spot-checks execute via `ilpc_sim::simulate_limited` and therefore ride
+/// the pre-decoded fast engine; its cycle-for-cycle equivalence to the
+/// legacy interpreter (proved by the engine differential suite) keeps
+/// guard verdicts — including budget-exceeded classifications, which *do*
+/// depend on exact cycle counts — byte-identical to the pre-engine ones.
 #[derive(Debug, Clone)]
 pub struct Oracle {
     /// Machine to execute the spot-check on.

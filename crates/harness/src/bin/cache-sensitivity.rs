@@ -18,15 +18,24 @@
 //! Output is deterministic for a given argument set.
 
 use ilpc_core::level::Level;
+use ilpc_harness::artifact::ArtifactCache;
 use ilpc_harness::grid::{run_grid, Grid, GridConfig};
 use ilpc_machine::{CacheParams, MemConfig};
+use std::sync::Arc;
 
-fn grid_for(mem: MemConfig, scale: f64, levels: &[Level], widths: &[u32]) -> Grid {
+fn grid_for(
+    mem: MemConfig,
+    scale: f64,
+    levels: &[Level],
+    widths: &[u32],
+    artifacts: &Arc<ArtifactCache>,
+) -> Grid {
     let grid = run_grid(&GridConfig {
         scale,
         levels: levels.to_vec(),
         widths: widths.to_vec(),
         mem,
+        artifacts: Some(Arc::clone(artifacts)),
         ..GridConfig::default()
     });
     assert!(grid.errors.is_empty(), "{:#?}", grid.errors);
@@ -95,7 +104,11 @@ fn main() {
     if !base_levels.contains(&Level::Conv) {
         base_levels.push(Level::Conv);
     }
-    let perfect = grid_for(MemConfig::Perfect, scale, &base_levels, &base_widths);
+    // One shared artifact cache across the whole sweep: compilation depends
+    // only on the machine's compile key, so every memory configuration
+    // below reuses the compiled + pre-decoded artifacts built here.
+    let artifacts = Arc::new(ArtifactCache::new());
+    let perfect = grid_for(MemConfig::Perfect, scale, &base_levels, &base_widths, &artifacts);
 
     let header = |tag: &str| {
         print!("{:<30} {:>5} {:>7}", tag, "width", "hit%");
@@ -117,7 +130,7 @@ fn main() {
     for &(size_name, sets) in sizes {
         for &lat in miss_lats {
             let params = CacheParams::new(4, sets, 2, lat, lat);
-            let g = grid_for(MemConfig::Cache(params), scale, &levels, &widths);
+            let g = grid_for(MemConfig::Cache(params), scale, &levels, &widths, &artifacts);
             let tag = format!("L1 {size_name} ({}) m{lat}", params.name());
             for &width in &widths {
                 let hit =
@@ -134,6 +147,25 @@ fn main() {
         }
         println!();
     }
+
+    // The sweep varied only the memory hierarchy, so every (workload,
+    // level, width) must have been compiled exactly once — the remaining
+    // grid passes are pure artifact-cache hits. This is the acceptance
+    // invariant for the compile-artifact cache; fail loudly if it slips.
+    let c = artifacts.counters();
+    let distinct = 40 * base_levels.len() * base_widths.len();
+    println!(
+        "artifact cache: {} compiles / {} hits ({} distinct artifacts), \
+reference interp: {} runs / {} hits",
+        c.compiles, c.hits, artifacts.distinct_artifacts(), c.ref_runs, c.ref_hits
+    );
+    assert_eq!(
+        c.compiles as usize, distinct,
+        "memory-config sweep must compile once per (workload, level, width)"
+    );
+    assert_eq!(artifacts.distinct_artifacts(), distinct);
+    assert_eq!(c.ref_runs, 40, "one reference interpretation per workload");
+    println!();
 
     println!("speedup = mean over the 40 loops vs the issue-1 Conv perfect-memory");
     println!("baseline; hit% = aggregate L1 hit rate at the highest level shown.");

@@ -11,6 +11,7 @@
 //! recovers from poisoning — one bad point can never take down the other
 //! 599 or abort the whole sweep.
 
+use crate::artifact::ArtifactCache;
 use crate::run::{evaluate, EvalPoint};
 use ilpc_core::level::Level;
 use ilpc_guard::panic_message;
@@ -22,7 +23,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Grid configuration.
 #[derive(Debug, Clone)]
@@ -40,6 +41,14 @@ pub struct GridConfig {
     pub mem: MemConfig,
     /// Deliberately break one point (fault drills and tests only).
     pub sabotage: Option<Sabotage>,
+    /// Shared compile-artifact cache. `None` (the default) compiles per
+    /// point; `Some` reuses compiled + pre-decoded artifacts and reference
+    /// executions across points — and across *grids*, which is the payoff:
+    /// a multi-memory-config sweep passes one cache to every `run_grid`
+    /// call and compiles each (workload, level, compile key) exactly once.
+    /// The cache's workload-name keying binds it to one catalog and scale
+    /// (see [`ArtifactCache`]); sabotaged points bypass it entirely.
+    pub artifacts: Option<Arc<ArtifactCache>>,
 }
 
 impl Default for GridConfig {
@@ -53,6 +62,7 @@ impl Default for GridConfig {
                 .unwrap_or(4),
             mem: MemConfig::Perfect,
             sabotage: None,
+            artifacts: None,
         }
     }
 }
@@ -233,6 +243,7 @@ fn eval_point(
     width: u32,
     machine: &Machine,
     sabotage: Option<&Sabotage>,
+    artifacts: Option<&ArtifactCache>,
 ) -> Result<EvalPoint, String> {
     if let Some(s) = sabotage {
         if s.workload == w.meta.name && s.level == level && s.width == width {
@@ -241,6 +252,8 @@ fn eval_point(
                     panic!("sabotaged grid point: {} {level} issue-{width}", w.meta.name)
                 }
                 SabotageMode::Corrupt => {
+                    // Sabotage must never pollute (or be masked by) the
+                    // shared cache: compile privately and corrupt that.
                     let mut c = crate::compile::compile(w, level, machine);
                     corrupt_arithmetic(&mut c.module);
                     return crate::run::run_compiled(w, &c, machine);
@@ -248,7 +261,10 @@ fn eval_point(
             }
         }
     }
-    evaluate(w, level, machine)
+    match artifacts {
+        Some(cache) => cache.evaluate(w, level, machine),
+        None => evaluate(w, level, machine),
+    }
 }
 
 /// Run the grid.
@@ -286,7 +302,14 @@ pub fn run_grid(cfg: &GridConfig) -> Grid {
                     // point's pipeline becomes a typed error, not a dead
                     // worker thread.
                     let r = match catch_unwind(AssertUnwindSafe(|| {
-                        eval_point(w, level, width, &machine, cfg.sabotage.as_ref())
+                        eval_point(
+                            w,
+                            level,
+                            width,
+                            &machine,
+                            cfg.sabotage.as_ref(),
+                            cfg.artifacts.as_deref(),
+                        )
                     })) {
                         Ok(Ok(p)) => Ok(p),
                         Ok(Err(e)) => Err(PointError::Eval(e)),
@@ -335,6 +358,7 @@ mod tests {
             threads: 4,
             mem: MemConfig::Perfect,
             sabotage: None,
+            artifacts: None,
         };
         let grid = run_grid(&cfg);
         assert!(grid.errors.is_empty(), "{:#?}", grid.errors);
@@ -384,6 +408,7 @@ mod tests {
                     width: 8,
                     mode,
                 }),
+                artifacts: None,
             };
             let grid = run_grid(&cfg);
             assert_eq!(grid.errors.len(), 1, "{mode:?}: {:#?}", grid.errors);
@@ -423,6 +448,7 @@ mod tests {
             threads: 4,
             mem: MemConfig::Cache(CacheParams::small()),
             sabotage: None,
+            artifacts: None,
         };
         let grid = run_grid(&cfg);
         assert!(grid.errors.is_empty(), "{:#?}", grid.errors);

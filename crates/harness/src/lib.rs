@@ -6,6 +6,7 @@
 //! figures (Tables 1-2, Figures 8-15, the §3.2/§4 summary statistics, and
 //! the §2 worked examples).
 
+pub mod artifact;
 pub mod campaign;
 pub mod compile;
 pub mod examples_paper;
@@ -14,6 +15,7 @@ pub mod grid;
 pub mod profile;
 pub mod run;
 
+pub use artifact::{Artifact, ArtifactCache, CacheCounters};
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Outcome};
 pub use compile::{compile, compile_guarded, compile_set, Compiled, GuardedCompile};
 pub use grid::{run_grid, Grid, GridConfig, GridError, PointError, Sabotage, SabotageMode};

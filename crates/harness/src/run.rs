@@ -3,7 +3,7 @@
 
 use crate::compile::{compile, Compiled};
 use ilpc_core::level::Level;
-use ilpc_ir::interp::interpret;
+use ilpc_ir::interp::{interpret, ExecState};
 use ilpc_ir::value::{ArrayVal, Value};
 use ilpc_ir::SymId;
 use ilpc_machine::Machine;
@@ -36,24 +36,20 @@ pub struct EvalPoint {
     pub mem: MemStats,
 }
 
-/// Simulate `compiled` and check its results against the interpreter.
-pub fn run_compiled(
+/// Differentially verify a simulated memory image against the AST
+/// interpreter's reference execution: every array, and every assigned
+/// scalar via its shadow symbol. Shared by the compile-per-point path
+/// ([`run_compiled`]) and the artifact-cache path
+/// (`crate::artifact::ArtifactCache::evaluate`).
+pub fn verify_against_reference(
     w: &Workload,
     compiled: &Compiled,
-    machine: &Machine,
-) -> Result<EvalPoint, String> {
-    let mem = memory_from_init(&compiled.module.symtab, &w.init);
-    let reference = interpret(&w.program, &w.init);
-    // Explicit budgets: the cycle limit bounds wall-clock, the derived
-    // dynamic-instruction watchdog catches runaway wide-issue work that
-    // burns few cycles but unbounded instructions.
-    let limits = SimLimits::cycles(cycle_budget(reference.stmts_executed));
-    let res = simulate_limited(&compiled.module, machine, mem, limits)
-        .map_err(|e| format!("{}: {e}", w.meta.name))?;
-
+    reference: &ExecState,
+    memory: &[u64],
+) -> Result<(), String> {
     // Differential check: arrays...
     for (k, want) in reference.arrays.iter().enumerate() {
-        let got = read_symbol(&compiled.module.symtab, &res.memory, SymId(k as u32));
+        let got = read_symbol(&compiled.module.symtab, memory, SymId(k as u32));
         let diff = got.max_rel_diff(want);
         if diff > FLT_TOL {
             return Err(format!(
@@ -65,7 +61,7 @@ pub fn run_compiled(
     }
     // ... and assigned scalars via their shadow symbols.
     for (var, sym) in &compiled.shadow {
-        let got = read_symbol(&compiled.module.symtab, &res.memory, *sym);
+        let got = read_symbol(&compiled.module.symtab, memory, *sym);
         let want = reference.scalars[var.0 as usize];
         let ok = match (&got, want) {
             (ArrayVal::I(v), Value::I(x)) => v[0] == x,
@@ -82,6 +78,25 @@ pub fn run_compiled(
             ));
         }
     }
+    Ok(())
+}
+
+/// Simulate `compiled` and check its results against the interpreter.
+pub fn run_compiled(
+    w: &Workload,
+    compiled: &Compiled,
+    machine: &Machine,
+) -> Result<EvalPoint, String> {
+    let mem = memory_from_init(&compiled.module.symtab, &w.init);
+    let reference = interpret(&w.program, &w.init);
+    // Explicit budgets: the cycle limit bounds wall-clock, the derived
+    // dynamic-instruction watchdog catches runaway wide-issue work that
+    // burns few cycles but unbounded instructions.
+    let limits = SimLimits::cycles(cycle_budget(reference.stmts_executed));
+    let res = simulate_limited(&compiled.module, machine, mem, limits)
+        .map_err(|e| format!("{}: {e}", w.meta.name))?;
+
+    verify_against_reference(w, compiled, &reference, &res.memory)?;
 
     Ok(EvalPoint {
         cycles: res.cycles,

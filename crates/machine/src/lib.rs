@@ -19,7 +19,7 @@ pub use ilpc_mem::{CacheGeometry, CacheParams, L2Params, MemConfig};
 /// | Int divide    | 10      | | FP multiply   | 3       |
 /// | branch        | 1/1 slot| | FP divide     | 10      |
 /// | memory load   | 2       | | memory store  | 1       |
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LatencyTable {
     pub int_alu: u32,
     pub int_mul: u32,
@@ -95,7 +95,7 @@ pub enum FuKind {
 
 /// Per-cycle issue limits per functional-unit class
 /// (`u32::MAX` = unlimited, the paper's base model).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FuLimits {
     pub int_alu: u32,
     pub int_mul_div: u32,
@@ -148,7 +148,7 @@ pub fn fu_kind(inst: &Inst) -> FuKind {
 }
 
 /// A machine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Machine {
     /// Instructions fetched/issued per cycle (`u32::MAX` = unlimited, used
     /// for the paper's worked examples which assume "infinite resources").
@@ -219,6 +219,29 @@ impl Machine {
     /// "an issue-1 processor with conventional compiler transformations."
     pub fn base() -> Machine {
         Machine::issue(1)
+    }
+
+    /// The projection of this configuration that the *compiler* sees.
+    ///
+    /// Code generation depends on issue width, FU limits, the latency
+    /// table (list scheduling) and load speculativity — but never on the
+    /// data-memory hierarchy, which only retimes execution. Two machines
+    /// with equal compile keys are guaranteed to compile any workload to
+    /// the same module, so memory-hierarchy sweeps can share one compiled
+    /// (and pre-decoded) artifact per key.
+    pub fn compile_key(&self) -> Machine {
+        Machine { mem: MemConfig::Perfect, ..*self }
+    }
+
+    /// Stable in-process hash of [`Machine::compile_key`] — the
+    /// machine-config component of the harness artifact-cache key. Not
+    /// persisted anywhere, so `DefaultHasher`'s lack of cross-version
+    /// stability is fine.
+    pub fn compile_config_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.compile_key().hash(&mut h);
+        h.finish()
     }
 
     /// Short display name (`issue-4`, `issue-8/mem2`).
@@ -295,6 +318,23 @@ mod tests {
         assert_eq!(Machine::base().issue_width, 1);
         assert_eq!(Machine::issue(8).branch_slots, 1);
         assert!(Machine::issue(2).nonexcepting_loads);
+    }
+
+    #[test]
+    fn compile_key_ignores_memory_hierarchy_only() {
+        let base = Machine::issue(8);
+        let cached = base.with_cache(CacheParams::small());
+        // The memory hierarchy never reaches the compiler…
+        assert_eq!(base.compile_key(), cached.compile_key());
+        assert_eq!(base.compile_config_hash(), cached.compile_config_hash());
+        // …but anything codegen-relevant does.
+        assert_ne!(base.compile_key(), Machine::issue(4).compile_key());
+        assert_ne!(
+            base.compile_config_hash(),
+            base.with_mem_ports(2).compile_config_hash()
+        );
+        let slow_fp = Machine { latency: LatencyTable { fp_alu: 9, ..TABLE1 }, ..base };
+        assert_ne!(base.compile_config_hash(), slow_fp.compile_config_hash());
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::stats::MemStats;
 use crate::{Access, MemModel};
 
 /// Geometry of one cache level: `line_words × sets × ways`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheGeometry {
     /// Words per line (rounded up to a power of two, min 1).
     pub line_words: u32,
@@ -46,7 +46,7 @@ impl CacheGeometry {
 /// Miss latencies are the *extra* cycles an access stalls beyond its
 /// pipeline latency when serviced from main memory. An access that misses
 /// L1 but hits a configured L2 pays [`L2Params::hit_latency`] instead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheParams {
     pub l1: CacheGeometry,
     /// Extra cycles for a load serviced from memory.
@@ -58,7 +58,7 @@ pub struct CacheParams {
 }
 
 /// Unified L2: geometry plus the (cheaper) L1-miss/L2-hit latency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct L2Params {
     pub geom: CacheGeometry,
     /// Extra cycles for an access that misses L1 but hits L2.
@@ -106,15 +106,15 @@ impl CacheParams {
 }
 
 /// One cache line's bookkeeping (the model stores no data — the simulator's
-/// flat memory is always architecturally current).
+/// flat memory is always architecturally current). Recency is positional:
+/// within a set, way 0 is the most recently used and the last way the
+/// least, so no per-line timestamp is needed.
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {
     valid: bool,
     dirty: bool,
     /// Full line address (`word_addr >> line_shift`) — unambiguous tag.
     tag: u64,
-    /// Monotone last-use tick for LRU.
-    lru: u64,
 }
 
 /// What one level did with an access.
@@ -133,7 +133,6 @@ struct Level {
     set_mask: u64,
     ways: usize,
     lines: Vec<Line>,
-    tick: u64,
 }
 
 impl Level {
@@ -144,37 +143,47 @@ impl Level {
             set_mask: (g.sets - 1) as u64,
             ways: g.ways as usize,
             lines: vec![Line::default(); (g.sets * g.ways) as usize],
-            tick: 0,
         }
     }
 
     fn clear(&mut self) {
         self.lines.fill(Line::default());
-        self.tick = 0;
     }
 
     /// Probe for `addr`; on miss, allocate (write-allocate) via LRU.
+    ///
+    /// Each set keeps its ways in recency order (way 0 = most recently
+    /// used), which is observably identical to timestamp LRU: valid lines
+    /// stay contiguous at the front, so "first invalid way, else the
+    /// least-recently-used" is always the last way, and a hit is usually
+    /// one compare against the front way.
+    #[inline]
     fn access(&mut self, addr: u64, dirty: bool) -> Fill {
-        self.tick += 1;
         let line_addr = addr >> self.line_shift;
-        let set = (line_addr & self.set_mask) as usize;
-        let slots = &mut self.lines[set * self.ways..(set + 1) * self.ways];
-        if let Some(l) = slots.iter_mut().find(|l| l.valid && l.tag == line_addr) {
-            l.lru = self.tick;
-            l.dirty |= dirty;
+        let set = (line_addr & self.set_mask) as usize * self.ways;
+        let slots = &mut self.lines[set..set + self.ways];
+        // Front-way hit: already most recently used, nothing moves.
+        if slots[0].valid && slots[0].tag == line_addr {
+            slots[0].dirty |= dirty;
             return Fill { hit: true, evicted: false, writeback: false };
         }
-        // Miss: fill the first invalid way, else the least-recently-used.
-        let victim = match slots.iter().position(|l| !l.valid) {
-            Some(k) => k,
-            None => {
-                let (k, _) = slots.iter().enumerate().min_by_key(|(_, l)| l.lru).unwrap();
-                k
+        for k in 1..slots.len() {
+            if slots[k].valid && slots[k].tag == line_addr {
+                let mut l = slots[k];
+                l.dirty |= dirty;
+                slots.copy_within(0..k, 1);
+                slots[0] = l;
+                return Fill { hit: true, evicted: false, writeback: false };
             }
-        };
-        let evicted = slots[victim].valid;
-        let writeback = evicted && slots[victim].dirty;
-        slots[victim] = Line { valid: true, dirty, tag: line_addr, lru: self.tick };
+        }
+        // Miss: the victim is the last way — an invalid one if the set is
+        // not yet full (insertions keep valid lines in front), else the
+        // least recently used.
+        let victim = slots[slots.len() - 1];
+        let evicted = victim.valid;
+        let writeback = evicted && victim.dirty;
+        slots.copy_within(0..slots.len() - 1, 1);
+        slots[0] = Line { valid: true, dirty, tag: line_addr };
         Fill { hit: false, evicted, writeback }
     }
 
@@ -211,6 +220,7 @@ impl CacheMem {
 }
 
 impl MemModel for CacheMem {
+    #[inline]
     fn access(&mut self, kind: Access, addr: u64) -> u64 {
         let is_store = kind == Access::Store;
         match kind {

@@ -75,6 +75,7 @@ impl PerfectMem {
 }
 
 impl MemModel for PerfectMem {
+    #[inline]
     fn access(&mut self, kind: Access, _addr: u64) -> u64 {
         match kind {
             Access::Load => self.stats.loads += 1,
@@ -100,7 +101,7 @@ impl MemModel for PerfectMem {
 ///
 /// Plain copyable data (so `Machine` stays `Copy + Eq`); [`MemConfig::build`]
 /// turns it into a live [`MemModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemConfig {
     /// 100 % hit rate — the paper's evaluated model (the default).
     Perfect,

@@ -1,0 +1,1112 @@
+//! Pre-decoded execution engine: the hot path of the simulator.
+//!
+//! [`decode`] lowers a [`Module`] once into a flat [`DecodedProgram`];
+//! [`simulate_decoded`] then runs it with none of the per-dynamic-
+//! instruction work the tree-walking interpreter pays:
+//!
+//! * **Operand resolution.** Every operand becomes an index into one
+//!   unified 64-bit register file: integer vregs first, then float vregs,
+//!   then a constant pool holding every immediate and symbol base the
+//!   program mentions. Constants are ordinary file entries whose ready
+//!   time is permanently 0, so the interlock loop is three array reads —
+//!   no `Operand` matching, no `Option` unwrapping.
+//! * **Packed records.** The per-record fields the run loop touches every
+//!   dynamic instruction (dispatch kind, flags, FU class, latency, operand
+//!   and destination indices, branch target) live in one 28-byte [`Slot`],
+//!   so fetching an instruction is a single bounds-checked load from one
+//!   array instead of a dozen. Cold fields (addressing displacement,
+//!   memory tags, source coordinates) stay in side arrays indexed by pc.
+//! * **Fused dispatch.** The opcode is decoded all the way down: `Add` and
+//!   `FMul` are distinct [`DOp`] variants, so executing an ALU op is one
+//!   jump-table dispatch, not an opcode match nested inside a class match.
+//! * **Latency and FU class.** Baked in at decode time from the machine's
+//!   latency table ([`DecodedProgram`] records which table it was built
+//!   for; running it under a machine with a different table is a logic
+//!   error caught by a debug assertion).
+//! * **Validation.** Structural errors (missing destination register,
+//!   missing memory tag, wrong-class operands, out-of-range register ids)
+//!   are found at decode time but reported *lazily*: a malformed
+//!   instruction decodes to a trap record that returns the exact legacy
+//!   [`SimError::Malformed`] when — and only when — control reaches it.
+//!   Trap records keep the real operand indices, latency and FU class, so
+//!   interlock timing up to the error is also bit-identical.
+//! * **Control flow.** Branch targets are pre-resolved instruction
+//!   indices. Each block ends in a zero-cost `Goto` (fall-through to the
+//!   layout successor) or `FellOff` record, reproducing the legacy
+//!   block-walking loop including detached-block dead ends.
+//! * **Branch profiling.** Dense per-instruction executed/taken counter
+//!   arrays indexed by pc; the `SimResult` profile map is built once at
+//!   exit from the non-zero entries.
+//! * **Memory hierarchy.** The run loop is generic over
+//!   [`ilpc_mem::MemModel`] and monomorphized per configuration, so the
+//!   perfect-memory path inlines to two counter increments instead of a
+//!   virtual call per access.
+//!
+//! The legacy interpreter survives behind the `oracle` feature (default
+//! on) as `reference::simulate_limited_reference`; the differential test
+//! suite proves the two engines cycle- and result-identical across the
+//! full evaluation grid.
+
+use crate::{SimError, SimLimits, SimResult};
+use ilpc_ir::{BlockId, Cond, MemLoc, Module, Opcode, Operand, RegClass, SymId};
+use ilpc_machine::{fu_kind, FuKind, LatencyTable, Machine, MemConfig};
+use ilpc_mem::{Access, CacheMem, MemModel, PerfectMem};
+use std::collections::HashMap;
+
+// Trap reasons — the exact strings the legacy engine reports.
+const R_MISSING_DST: u8 = 0;
+const R_MISSING_TAG: u8 = 1;
+const R_MISSING_TARGET: u8 = 2;
+const R_EMPTY: u8 = 3;
+const R_UNKNOWN_SYM: u8 = 4;
+const R_FLT_WHERE_INT: u8 = 5;
+const R_INT_WHERE_FLT: u8 = 6;
+const R_WRITE_MISMATCH: u8 = 7;
+const R_MIXED_BRANCH: u8 = 8;
+const R_RANGE: u8 = 9;
+
+const TRAP_REASONS: [&str; 10] = [
+    "missing destination register",
+    "missing memory tag",
+    "missing branch target",
+    "reading empty operand",
+    "unknown symbol operand",
+    "float operand where integer expected",
+    "integer operand where float expected",
+    "class mismatch on register write",
+    "mixed-class branch comparison",
+    "register id out of range",
+];
+
+// `target` sentinels for branches whose target only matters when taken.
+const TARGET_MISSING: u32 = u32::MAX;
+const TARGET_OOB: u32 = u32::MAX - 1;
+
+// Per-record flags.
+const F_HAS_DST: u8 = 1 << 0;
+const F_IS_BRANCH: u8 = 1 << 1;
+const F_IS_LOAD: u8 = 1 << 2;
+
+/// Dispatch kind of one decoded record. Operand classes are validated at
+/// decode time, so execution needs no per-class operand checks: `Mov`,
+/// `Load` and `Store` move raw 64-bit images. Arithmetic is fully fused —
+/// one variant per operation — so the run loop dispatches exactly once
+/// per dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DOp {
+    // Two-source integer ALU ops.
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Mul,
+    Div,
+    Rem,
+    // Two-source float ALU ops.
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    /// Register/constant copy (classes match; a bit copy).
+    Mov,
+    CvtIF,
+    CvtFI,
+    Load,
+    Store,
+    /// Conditional branch comparing two integer-class operands.
+    BrI(Cond),
+    /// Conditional branch comparing two float-class operands.
+    BrF(Cond),
+    Jump,
+    Halt,
+    /// Zero-cost fall-through redirect to `target` (end of block).
+    Goto,
+    /// Control fell off the end of the block (no layout successor).
+    FellOff,
+    /// Structurally invalid instruction caught before the legacy engine's
+    /// interlock stage (out-of-range register id, load without a memory
+    /// tag): errors immediately when reached.
+    TrapEarly(u8),
+    /// Structurally invalid instruction caught at the legacy engine's
+    /// execute stage: goes through interlocks, slot accounting and budget
+    /// checks first, then errors — preserving error precedence.
+    Trap(u8),
+}
+
+/// The hot per-record fields, packed so the run loop fetches one record
+/// with one bounds check. 28 bytes.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    op: DOp,
+    flags: u8,
+    /// Functional-unit index (0 IntAlu, 1 IntMulDiv, 2 Fp, 3 Mem,
+    /// 4 branch/none — slot 4 is never limited).
+    fu: u8,
+    lat: u32,
+    a: u32,
+    b: u32,
+    c: u32,
+    /// Destination register file index (valid when `F_HAS_DST`).
+    dst: u32,
+    /// Branch / jump / goto target pc (or a `TARGET_*` sentinel).
+    target: u32,
+}
+
+/// A module lowered to flat array form, ready for repeated simulation.
+/// Build one with [`decode`]; run it with [`simulate_decoded`]. All
+/// arrays are indexed by decoded pc.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    /// Hot per-record fields (see [`Slot`]).
+    code: Vec<Slot>,
+    /// Addressing displacement for loads/stores.
+    ext: Vec<i64>,
+    /// Memory disambiguation tag (loads/stores; dummy elsewhere).
+    tags: Vec<MemLoc>,
+    /// `(block id, instruction index)` for error reports and the branch
+    /// profile.
+    coord: Vec<(u32, u32)>,
+    /// Initial unified register file: `int vregs ++ flt vregs ++ consts`.
+    file_init: Vec<u64>,
+    /// Total data-memory words (symbol-table layout size).
+    mem_words: usize,
+    /// Latency table the program was decoded against.
+    latency: LatencyTable,
+}
+
+impl DecodedProgram {
+    /// Number of decoded records (instructions + block terminators).
+    pub fn num_records(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Size of the unified register file (vregs + constant pool).
+    pub fn file_len(&self) -> usize {
+        self.file_init.len()
+    }
+
+    /// The latency table baked into this program at decode time.
+    pub fn latency(&self) -> &LatencyTable {
+        &self.latency
+    }
+
+    fn malformed(&self, pc: usize, reason: u8) -> SimError {
+        let (block, index) = self.coord[pc];
+        SimError::Malformed {
+            block: BlockId(block),
+            index: index as usize,
+            reason: TRAP_REASONS[reason as usize],
+        }
+    }
+}
+
+/// Constant pool interner: raw 64-bit images appended after the vregs.
+struct Pool {
+    map: HashMap<u64, u32>,
+    vals: Vec<u64>,
+    base: u32,
+}
+
+impl Pool {
+    fn intern(&mut self, bits: u64) -> u32 {
+        if let Some(&idx) = self.map.get(&bits) {
+            return idx;
+        }
+        let idx = self.base + self.vals.len() as u32;
+        self.vals.push(bits);
+        self.map.insert(bits, idx);
+        idx
+    }
+}
+
+/// One resolved operand slot: a file index plus the value class it
+/// provides (`None` class/`err` for unresolvable slots — empty or
+/// unknown-symbol operands keep the legacy reason string).
+struct Rslot {
+    idx: u32,
+    class: Option<RegClass>,
+    err: Option<u8>,
+}
+
+fn slot_ok(s: &Rslot) -> Result<(), u8> {
+    match s.err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn slot_class(s: &Rslot, want: RegClass) -> Result<(), u8> {
+    slot_ok(s)?;
+    if s.class == Some(want) {
+        Ok(())
+    } else {
+        Err(match want {
+            RegClass::Int => R_FLT_WHERE_INT,
+            RegClass::Flt => R_INT_WHERE_FLT,
+        })
+    }
+}
+
+fn fu_idx(kind: FuKind) -> u8 {
+    match kind {
+        FuKind::IntAlu => 0,
+        FuKind::IntMulDiv => 1,
+        FuKind::Fp => 2,
+        FuKind::Mem => 3,
+        FuKind::Branch => 4,
+    }
+}
+
+/// Fused [`DOp`] for a validated two-source integer ALU opcode.
+fn int_dop(op: Opcode) -> DOp {
+    match op {
+        Opcode::Add => DOp::Add,
+        Opcode::Sub => DOp::Sub,
+        Opcode::And => DOp::And,
+        Opcode::Or => DOp::Or,
+        Opcode::Xor => DOp::Xor,
+        Opcode::Shl => DOp::Shl,
+        Opcode::Shr => DOp::Shr,
+        Opcode::Mul => DOp::Mul,
+        Opcode::Div => DOp::Div,
+        Opcode::Rem => DOp::Rem,
+        _ => unreachable!("int_dop on non-integer opcode {op}"),
+    }
+}
+
+/// Fused [`DOp`] for a validated two-source float ALU opcode.
+fn flt_dop(op: Opcode) -> DOp {
+    match op {
+        Opcode::FAdd => DOp::FAdd,
+        Opcode::FSub => DOp::FSub,
+        Opcode::FMul => DOp::FMul,
+        Opcode::FDiv => DOp::FDiv,
+        _ => unreachable!("flt_dop on non-float opcode {op}"),
+    }
+}
+
+/// One decoded record in assembly order (split into the hot [`Slot`]
+/// array and the cold side arrays at the end of [`decode`]).
+struct Rec {
+    op: DOp,
+    flags: u8,
+    fu: u8,
+    lat: u32,
+    dst: u32,
+    target: u32,
+    a: u32,
+    b: u32,
+    c: u32,
+    ext: i64,
+    tag: MemLoc,
+    coord: (u32, u32),
+}
+
+/// Lower `m` into a [`DecodedProgram`] for `machine`'s latency table.
+///
+/// Decode never rejects a module: structurally invalid instructions
+/// become trap records that reproduce the legacy engine's lazy
+/// `SimError::Malformed` (an invalid instruction on a never-executed path
+/// is harmless, exactly as before).
+pub fn decode(m: &Module, machine: &Machine) -> DecodedProgram {
+    let f = &m.func;
+    let (bases, mem_words) = m.symtab.layout();
+    let ni = f.vreg_count(RegClass::Int);
+    let nf = f.vreg_count(RegClass::Flt);
+    let base_len = ni + nf;
+    // Panics on an empty layout, like the legacy engine's `f.entry()`.
+    let entry = f.entry();
+
+    // Decode order: layout first-occurrences (entry first), then blocks
+    // outside the layout (branch targets mid-insertion / dead ends).
+    let nb = f.num_blocks();
+    let mut order: Vec<BlockId> = Vec::with_capacity(nb);
+    let mut seen = vec![false; nb];
+    for &b in f.layout_order() {
+        if !seen[b.0 as usize] {
+            seen[b.0 as usize] = true;
+            order.push(b);
+        }
+    }
+    for id in 0..nb {
+        if !seen[id] {
+            order.push(BlockId(id as u32));
+        }
+    }
+    debug_assert_eq!(order.first(), Some(&entry));
+
+    // Start pc of every block: live instructions + one terminator each.
+    let mut start = vec![0u32; nb];
+    let mut n = 0u32;
+    for &b in &order {
+        start[b.0 as usize] = n;
+        let live = f.block(b).insts.iter().filter(|i| i.op != Opcode::Nop).count();
+        n += live as u32 + 1;
+    }
+
+    let mut pool = Pool { map: HashMap::new(), vals: Vec::new(), base: base_len };
+    let const0 = pool.intern(0);
+    let unified = |r: ilpc_ir::Reg| -> u32 {
+        match r.class {
+            RegClass::Int => r.id,
+            RegClass::Flt => ni + r.id,
+        }
+    };
+    let mut resolve = |o: Operand| -> Rslot {
+        match o {
+            Operand::None => Rslot { idx: const0, class: None, err: Some(R_EMPTY) },
+            Operand::Reg(r) => {
+                // Range-checked by the caller's early stage.
+                Rslot { idx: unified(r), class: Some(r.class), err: None }
+            }
+            Operand::ImmI(v) => {
+                Rslot { idx: pool.intern(v as u64), class: Some(RegClass::Int), err: None }
+            }
+            Operand::ImmF(v) => {
+                Rslot { idx: pool.intern(v.to_bits()), class: Some(RegClass::Flt), err: None }
+            }
+            Operand::Sym(s) => match bases.get(s.0 as usize) {
+                Some(&b) => Rslot {
+                    idx: pool.intern(b as i64 as u64),
+                    class: Some(RegClass::Int),
+                    err: None,
+                },
+                None => Rslot { idx: const0, class: None, err: Some(R_UNKNOWN_SYM) },
+            },
+        }
+    };
+
+    let dummy_tag = MemLoc::opaque(SymId(0));
+    let mut recs: Vec<Rec> = Vec::with_capacity(n as usize);
+
+    for &bid in &order {
+        let block = f.block(bid);
+        for (idx, inst) in block.insts.iter().enumerate() {
+            if inst.op == Opcode::Nop {
+                continue;
+            }
+            let mut rec = Rec {
+                op: DOp::Halt, // placeholder, always overwritten below
+                flags: 0,
+                fu: fu_idx(fu_kind(inst)),
+                lat: machine.latency.of(inst),
+                dst: 0,
+                target: 0,
+                a: const0,
+                b: const0,
+                c: const0,
+                ext: inst.ext,
+                tag: inst.mem.unwrap_or(dummy_tag),
+                coord: (bid.0, idx as u32),
+            };
+            if inst.op.is_branch() {
+                rec.flags |= F_IS_BRANCH;
+            }
+
+            // Errors the legacy engine finds before its execute stage
+            // (interlock register-range checks, a load's tag lookup for
+            // the alias stall): these fire immediately on reach, before
+            // slot accounting and budget checks.
+            let mut early: Option<u8> = None;
+            for o in inst.src {
+                if let Operand::Reg(r) = o {
+                    let count = if r.class == RegClass::Int { ni } else { nf };
+                    if r.id >= count {
+                        early = Some(R_RANGE);
+                        break;
+                    }
+                }
+            }
+            if early.is_none() {
+                if let Some(d) = inst.dst {
+                    let count = if d.class == RegClass::Int { ni } else { nf };
+                    if d.id >= count {
+                        early = Some(R_RANGE);
+                    }
+                }
+            }
+            if early.is_none() && inst.op == Opcode::Load && inst.mem.is_none() {
+                early = Some(R_MISSING_TAG);
+            }
+            if let Some(r) = early {
+                rec.op = DOp::TrapEarly(r);
+                recs.push(rec);
+                continue;
+            }
+
+            // From here on every register operand is range-valid; resolve
+            // all slots (trap records keep real indices so interlock and
+            // WAW timing stay identical up to the error).
+            if let Some(d) = inst.dst {
+                rec.dst = unified(d);
+                rec.flags |= F_HAS_DST;
+            }
+            let s0 = resolve(inst.src[0]);
+            let s1 = resolve(inst.src[1]);
+            let s2 = resolve(inst.src[2]);
+            rec.a = s0.idx;
+            rec.b = s1.idx;
+            rec.c = s2.idx;
+            if inst.op == Opcode::Load {
+                rec.flags |= F_IS_LOAD;
+            }
+
+            // Validate in the legacy engine's execute-stage order, so a
+            // multiply-malformed instruction reports the same reason.
+            let decoded: Result<DOp, u8> = (|| match inst.op {
+                Opcode::Mov => {
+                    slot_ok(&s0)?;
+                    let d = inst.dst.ok_or(R_MISSING_DST)?;
+                    if s0.class != Some(d.class) {
+                        return Err(R_WRITE_MISMATCH);
+                    }
+                    Ok(DOp::Mov)
+                }
+                Opcode::Add
+                | Opcode::Sub
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::Shl
+                | Opcode::Shr
+                | Opcode::Mul
+                | Opcode::Div
+                | Opcode::Rem => {
+                    slot_class(&s0, RegClass::Int)?;
+                    slot_class(&s1, RegClass::Int)?;
+                    let d = inst.dst.ok_or(R_MISSING_DST)?;
+                    if d.class != RegClass::Int {
+                        return Err(R_WRITE_MISMATCH);
+                    }
+                    Ok(int_dop(inst.op))
+                }
+                Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv => {
+                    slot_class(&s0, RegClass::Flt)?;
+                    slot_class(&s1, RegClass::Flt)?;
+                    let d = inst.dst.ok_or(R_MISSING_DST)?;
+                    if d.class != RegClass::Flt {
+                        return Err(R_WRITE_MISMATCH);
+                    }
+                    Ok(flt_dop(inst.op))
+                }
+                Opcode::CvtIF => {
+                    slot_class(&s0, RegClass::Int)?;
+                    let d = inst.dst.ok_or(R_MISSING_DST)?;
+                    if d.class != RegClass::Flt {
+                        return Err(R_WRITE_MISMATCH);
+                    }
+                    Ok(DOp::CvtIF)
+                }
+                Opcode::CvtFI => {
+                    slot_class(&s0, RegClass::Flt)?;
+                    let d = inst.dst.ok_or(R_MISSING_DST)?;
+                    if d.class != RegClass::Int {
+                        return Err(R_WRITE_MISMATCH);
+                    }
+                    Ok(DOp::CvtFI)
+                }
+                Opcode::Load => {
+                    // Legacy checks the destination before the address.
+                    inst.dst.ok_or(R_MISSING_DST)?;
+                    slot_class(&s0, RegClass::Int)?;
+                    slot_class(&s1, RegClass::Int)?;
+                    Ok(DOp::Load)
+                }
+                Opcode::Store => {
+                    slot_class(&s0, RegClass::Int)?;
+                    slot_class(&s1, RegClass::Int)?;
+                    slot_ok(&s2)?;
+                    if inst.mem.is_none() {
+                        return Err(R_MISSING_TAG);
+                    }
+                    Ok(DOp::Store)
+                }
+                Opcode::Br(c) => {
+                    slot_ok(&s0)?;
+                    slot_ok(&s1)?;
+                    match (s0.class, s1.class) {
+                        (Some(RegClass::Int), Some(RegClass::Int)) => Ok(DOp::BrI(c)),
+                        (Some(RegClass::Flt), Some(RegClass::Flt)) => Ok(DOp::BrF(c)),
+                        _ => Err(R_MIXED_BRANCH),
+                    }
+                }
+                Opcode::Jump => {
+                    // A jump always takes its target: a missing one errors
+                    // at the execute stage, like the legacy engine.
+                    if inst.target.is_none() {
+                        return Err(R_MISSING_TARGET);
+                    }
+                    Ok(DOp::Jump)
+                }
+                Opcode::Halt => Ok(DOp::Halt),
+                Opcode::Nop => unreachable!("nops are skipped above"),
+            })();
+
+            if matches!(inst.op, Opcode::Br(_) | Opcode::Jump) {
+                // Targets are resolved lazily at run time: a conditional
+                // branch with a missing target only errors when taken.
+                rec.target = match inst.target {
+                    None => TARGET_MISSING,
+                    Some(t) if (t.0 as usize) >= nb => TARGET_OOB,
+                    Some(t) => start[t.0 as usize],
+                };
+            }
+            rec.op = match decoded {
+                Ok(op) => op,
+                Err(r) => DOp::Trap(r),
+            };
+            recs.push(rec);
+        }
+
+        // Block terminator: fall through to the layout successor, or a
+        // dead end (detached block / end of layout).
+        recs.push(match f.fallthrough(bid) {
+            Some(next) => Rec {
+                op: DOp::Goto,
+                target: start[next.0 as usize],
+                flags: 0,
+                fu: 4,
+                lat: 0,
+                dst: 0,
+                a: const0,
+                b: const0,
+                c: const0,
+                ext: 0,
+                tag: dummy_tag,
+                coord: (bid.0, block.insts.len() as u32),
+            },
+            None => Rec {
+                op: DOp::FellOff,
+                target: 0,
+                flags: 0,
+                fu: 4,
+                lat: 0,
+                dst: 0,
+                a: const0,
+                b: const0,
+                c: const0,
+                ext: 0,
+                tag: dummy_tag,
+                coord: (bid.0, block.insts.len() as u32),
+            },
+        });
+    }
+    debug_assert_eq!(recs.len(), n as usize);
+
+    // Unified initial file: vregs all zero (0u64 is both 0i64 and 0.0f64),
+    // constants after.
+    let mut file_init = vec![0u64; base_len as usize];
+    file_init.extend_from_slice(&pool.vals);
+
+    let mut p = DecodedProgram {
+        code: Vec::with_capacity(recs.len()),
+        ext: Vec::with_capacity(recs.len()),
+        tags: Vec::with_capacity(recs.len()),
+        coord: Vec::with_capacity(recs.len()),
+        file_init,
+        mem_words,
+        latency: machine.latency,
+    };
+    for r in recs {
+        p.code.push(Slot {
+            op: r.op,
+            flags: r.flags,
+            fu: r.fu,
+            lat: r.lat,
+            a: r.a,
+            b: r.b,
+            c: r.c,
+            dst: r.dst,
+            target: r.target,
+        });
+        p.ext.push(r.ext);
+        p.tags.push(r.tag);
+        p.coord.push(r.coord);
+    }
+    p
+}
+
+/// Execute a decoded program under explicit limits.
+///
+/// `machine` supplies the *runtime* parameters — issue width, branch
+/// slots, FU limits and memory hierarchy; the latency table must be the
+/// one the program was decoded with.
+pub fn simulate_decoded(
+    p: &DecodedProgram,
+    machine: &Machine,
+    init_mem: Vec<u64>,
+    limits: SimLimits,
+) -> Result<SimResult, SimError> {
+    debug_assert_eq!(
+        p.latency, machine.latency,
+        "decoded program was built for a different latency table"
+    );
+    // Monomorphize per memory model: the perfect path inlines to two
+    // counter bumps, the cache path skips the Box<dyn> indirection.
+    match machine.mem {
+        MemConfig::Perfect => run(p, machine, init_mem, limits, PerfectMem::new()),
+        MemConfig::Cache(params) => run(p, machine, init_mem, limits, CacheMem::new(params)),
+    }
+}
+
+fn run<M: MemModel>(
+    p: &DecodedProgram,
+    machine: &Machine,
+    mem: Vec<u64>,
+    limits: SimLimits,
+    memsys: M,
+) -> Result<SimResult, SimError> {
+    let issue_width = machine.issue_width.max(1);
+    // Any per-class limit at or above the issue width can never bind:
+    // class counts are bounded by the slot count, which stalls first. The
+    // paper's base model (FuLimits::UNLIMITED) takes the specialized
+    // engine with no FU accounting at all.
+    let fu = [machine.fu.int_alu, machine.fu.int_mul_div, machine.fu.fp, machine.fu.mem];
+    if fu.iter().all(|&l| l >= issue_width) {
+        engine::<M, false>(p, machine, mem, limits, memsys)
+    } else {
+        engine::<M, true>(p, machine, mem, limits, memsys)
+    }
+}
+
+/// Read `v[i]` without a bounds check.
+///
+/// Safety: every index the run loop uses is validated at decode time —
+/// operand/destination indices are in `0..file_len()` (out-of-range
+/// registers decode to `TrapEarly`, which returns before the interlock
+/// stage), and `pc` stays in `0..num_records()` (records that fall
+/// through have a successor, and every block ends in a non-falling
+/// terminator; targets are block starts or handled sentinels).
+#[inline(always)]
+fn rd(v: &[u64], i: usize) -> u64 {
+    debug_assert!(i < v.len());
+    unsafe { *v.get_unchecked(i) }
+}
+
+/// Write `v[i]` without a bounds check (same invariants as [`rd`]).
+#[inline(always)]
+fn wr(v: &mut [u64], i: usize, x: u64) {
+    debug_assert!(i < v.len());
+    unsafe { *v.get_unchecked_mut(i) = x }
+}
+
+/// Read `v[i]` without a bounds check (same invariants as [`rd`]; the
+/// side arrays are built in lockstep with `code`, so `pc` indexes them).
+#[inline(always)]
+fn rd_i64(v: &[i64], i: usize) -> i64 {
+    debug_assert!(i < v.len());
+    unsafe { *v.get_unchecked(i) }
+}
+
+/// Increment `v[i]` without a bounds check (the branch-counter arrays are
+/// allocated with one entry per record, and `pc < num_records()`).
+#[inline(always)]
+fn bump(v: &mut [u64], i: usize) {
+    debug_assert!(i < v.len());
+    unsafe { *v.get_unchecked_mut(i) += 1 }
+}
+
+// The issue prologue (`issue!`) updates the slot/branch accounting in every
+// arm; arms that end the cycle themselves (taken branches, halt, trap) then
+// overwrite or abandon those counters, which trips `unused_assignments`.
+#[allow(unused_assignments)]
+fn engine<M: MemModel, const FU: bool>(
+    p: &DecodedProgram,
+    machine: &Machine,
+    mut mem: Vec<u64>,
+    limits: SimLimits,
+    mut memsys: M,
+) -> Result<SimResult, SimError> {
+    if mem.len() < p.mem_words {
+        mem.resize(p.mem_words, 0);
+    }
+    let max_cycles = limits.max_cycles;
+    let max_dyn_insts = limits.max_dyn_insts;
+    let code = &p.code[..];
+    let mut file: Vec<u64> = p.file_init.clone();
+    // Index-addressed scoreboard: ready time per file entry (constants
+    // are never written, so theirs stays 0).
+    let mut ready: Vec<u64> = vec![0; file.len()];
+    let n = code.len();
+    // Dense per-pc branch counters; the profile map is built once at exit.
+    let mut br_exec = vec![0u64; n];
+    let mut br_taken = vec![0u64; n];
+    // Store history for the same-cycle alias stall, with the legacy push
+    // and drain behaviour byte-for-byte. Entries are pushed at their issue
+    // cycle, and the issue cursor never decreases, so timestamps are
+    // non-decreasing along the vector; `rs_start` tracks where the newest
+    // same-cycle run begins so a load scans only that suffix (older
+    // entries can never equal a candidate cycle `t >= cursor`), and
+    // `rs_last` mirrors that run's timestamp so the common no-store case
+    // is one compare.
+    let mut recent_stores: Vec<(MemLoc, u64)> = Vec::new();
+    let mut rs_start: usize = 0;
+    let mut rs_last: u64 = u64::MAX;
+
+    let issue_width = machine.issue_width.max(1);
+    let branch_slot_limit = machine.branch_slots.max(1);
+    // Slot 4 (branch/none) is accounted by `branch_slots`, never here.
+    let fu_limit: [u32; 5] =
+        [machine.fu.int_alu, machine.fu.int_mul_div, machine.fu.fp, machine.fu.mem, u32::MAX];
+
+    let mut cursor: u64 = 0;
+    let mut slots: u32 = 0;
+    let mut br_used: u32 = 0;
+    let mut fu_slots = [0u32; 5];
+    let mut dyn_insts: u64 = 0;
+    let mut pc: usize = 0;
+
+    loop {
+        debug_assert!(pc < n);
+        let s = unsafe { *code.get_unchecked(pc) };
+        let lat = s.lat as u64;
+        let ai = s.a as usize;
+        let bi = s.b as usize;
+
+        // Issue-stage prologue, expanded into each opcode's arm so the
+        // flag tests fold to constants wherever the opcode implies them
+        // (every ALU op has a destination, only loads alias-check, only
+        // branches consume a branch slot). Ops whose flags are *not*
+        // implied by the opcode — stores/branches/halt may carry a stray
+        // destination, a `Trap` record can carry any flags — pass the
+        // dynamic flag expression instead, so timing stays bit-for-bit
+        // with the legacy engine on malformed input too.
+        macro_rules! issue {
+            ($has_dst:expr, $is_br:expr, $is_load:expr) => {{
+                // 1. Earliest issue by interlocks (RAW on sources, WAW on
+                //    the destination). Unused slots point at constants
+                //    (ready 0).
+                let mut t = cursor;
+                t = t.max(rd(&ready, ai));
+                t = t.max(rd(&ready, bi));
+                t = t.max(rd(&ready, s.c as usize));
+                if $has_dst {
+                    t = t.max((rd(&ready, s.dst as usize) + 1).saturating_sub(lat));
+                }
+                if $is_load && t == rs_last {
+                    // Same-cycle aliasing store forces +1 (store visible
+                    // at issue+1). Earlier-cycle stores are already
+                    // visible; every stored timestamp is <= cursor <= t,
+                    // so only the newest same-cycle run can match, and
+                    // after one +1 nothing can: the legacy re-scan loop
+                    // runs at most once.
+                    let tag = &p.tags[pc];
+                    if recent_stores[rs_start..].iter().any(|(stag, _)| stag.may_alias(tag)) {
+                        t += 1;
+                    }
+                }
+
+                // 2. Slot accounting (in-order issue, issue_width per
+                //    cycle, one branch slot, per-class FU limits). On the
+                //    no-FU-limit path a cycle can stall issue at most once
+                //    (after a reset, `slots == br_used == 0` pass both
+                //    checks), so the legacy retry loop reduces to one step.
+                if t > cursor {
+                    cursor = t;
+                    slots = 0;
+                    br_used = 0;
+                    if FU {
+                        fu_slots = [0; 5];
+                    }
+                }
+                if FU {
+                    let fi = s.fu as usize;
+                    while slots >= issue_width
+                        || ($is_br && br_used >= branch_slot_limit)
+                        || fu_slots[fi] >= fu_limit[fi]
+                    {
+                        cursor += 1;
+                        slots = 0;
+                        br_used = 0;
+                        fu_slots = [0; 5];
+                    }
+                    fu_slots[fi] += 1;
+                } else if slots >= issue_width || ($is_br && br_used >= branch_slot_limit) {
+                    cursor += 1;
+                    slots = 0;
+                    br_used = 0;
+                }
+                let t = cursor;
+                slots += 1;
+                if $is_br {
+                    br_used += 1;
+                }
+                if t > max_cycles {
+                    return Err(SimError::CycleLimit(max_cycles));
+                }
+                dyn_insts += 1;
+                if dyn_insts > max_dyn_insts {
+                    return Err(SimError::DynInstLimit(max_dyn_insts));
+                }
+                t
+            }};
+        }
+
+        // One fused dispatch per record: issue timing and execute live in
+        // the same arm. All register-file accesses go through `rd`/`wr`:
+        // the indices were validated at decode time (see `rd`).
+        match s.op {
+            DOp::Goto => {
+                // Control records consume no issue resources.
+                pc = s.target as usize;
+                continue;
+            }
+            DOp::FellOff => return Err(SimError::FellOffEnd(BlockId(p.coord[pc].0))),
+            DOp::TrapEarly(r) => return Err(p.malformed(pc, r)),
+            DOp::Add => {
+                let t = issue!(true, false, false);
+                let v = (rd(&file, ai) as i64).wrapping_add(rd(&file, bi) as i64);
+                let d = s.dst as usize;
+                wr(&mut file, d, v as u64);
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::Sub => {
+                let t = issue!(true, false, false);
+                let v = (rd(&file, ai) as i64).wrapping_sub(rd(&file, bi) as i64);
+                let d = s.dst as usize;
+                wr(&mut file, d, v as u64);
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::And => {
+                let t = issue!(true, false, false);
+                let d = s.dst as usize;
+                let v = rd(&file, ai) & rd(&file, bi);
+                wr(&mut file, d, v);
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::Or => {
+                let t = issue!(true, false, false);
+                let d = s.dst as usize;
+                let v = rd(&file, ai) | rd(&file, bi);
+                wr(&mut file, d, v);
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::Xor => {
+                let t = issue!(true, false, false);
+                let d = s.dst as usize;
+                let v = rd(&file, ai) ^ rd(&file, bi);
+                wr(&mut file, d, v);
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::Shl => {
+                let t = issue!(true, false, false);
+                let v = (rd(&file, ai) as i64).wrapping_shl((rd(&file, bi) & 63) as u32);
+                let d = s.dst as usize;
+                wr(&mut file, d, v as u64);
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::Shr => {
+                let t = issue!(true, false, false);
+                let v = (rd(&file, ai) as i64).wrapping_shr((rd(&file, bi) & 63) as u32);
+                let d = s.dst as usize;
+                wr(&mut file, d, v as u64);
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::Mul => {
+                let t = issue!(true, false, false);
+                let v = (rd(&file, ai) as i64).wrapping_mul(rd(&file, bi) as i64);
+                let d = s.dst as usize;
+                wr(&mut file, d, v as u64);
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::Div => {
+                let t = issue!(true, false, false);
+                let (a, b) = (rd(&file, ai) as i64, rd(&file, bi) as i64);
+                let v = if b == 0 { 0 } else { a.wrapping_div(b) };
+                let d = s.dst as usize;
+                wr(&mut file, d, v as u64);
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::Rem => {
+                let t = issue!(true, false, false);
+                let (a, b) = (rd(&file, ai) as i64, rd(&file, bi) as i64);
+                let v = if b == 0 { 0 } else { a.wrapping_rem(b) };
+                let d = s.dst as usize;
+                wr(&mut file, d, v as u64);
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::FAdd => {
+                let t = issue!(true, false, false);
+                let v = f64::from_bits(rd(&file, ai)) + f64::from_bits(rd(&file, bi));
+                let d = s.dst as usize;
+                wr(&mut file, d, v.to_bits());
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::FSub => {
+                let t = issue!(true, false, false);
+                let v = f64::from_bits(rd(&file, ai)) - f64::from_bits(rd(&file, bi));
+                let d = s.dst as usize;
+                wr(&mut file, d, v.to_bits());
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::FMul => {
+                let t = issue!(true, false, false);
+                let v = f64::from_bits(rd(&file, ai)) * f64::from_bits(rd(&file, bi));
+                let d = s.dst as usize;
+                wr(&mut file, d, v.to_bits());
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::FDiv => {
+                let t = issue!(true, false, false);
+                let v = f64::from_bits(rd(&file, ai)) / f64::from_bits(rd(&file, bi));
+                let d = s.dst as usize;
+                wr(&mut file, d, v.to_bits());
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::Mov => {
+                let t = issue!(true, false, false);
+                let d = s.dst as usize;
+                let v = rd(&file, ai);
+                wr(&mut file, d, v);
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::CvtIF => {
+                let t = issue!(true, false, false);
+                let d = s.dst as usize;
+                let v = ((rd(&file, ai) as i64) as f64).to_bits();
+                wr(&mut file, d, v);
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::CvtFI => {
+                let t = issue!(true, false, false);
+                let d = s.dst as usize;
+                let v = (f64::from_bits(rd(&file, ai)) as i64) as u64;
+                wr(&mut file, d, v);
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::Load => {
+                let t = issue!(true, false, true);
+                let addr = (rd(&file, ai) as i64)
+                    .wrapping_add(rd(&file, bi) as i64)
+                    .wrapping_add(rd_i64(&p.ext, pc));
+                // Non-excepting: out-of-range reads return zero (the
+                // address range check stays, it is part of the model).
+                let bits = if addr >= 0 && (addr as usize) < mem.len() {
+                    mem[addr as usize]
+                } else {
+                    0
+                };
+                // A cache miss delays only this load's result (the cache
+                // is non-blocking for loads); issue continues.
+                let extra = memsys.access(Access::Load, addr as u64);
+                let d = s.dst as usize;
+                wr(&mut file, d, bits);
+                wr(&mut ready, d, t + lat + extra);
+            }
+            DOp::Store => {
+                let t = issue!(s.flags & F_HAS_DST != 0, false, false);
+                let addr = (rd(&file, ai) as i64)
+                    .wrapping_add(rd(&file, bi) as i64)
+                    .wrapping_add(rd_i64(&p.ext, pc));
+                if addr >= 0 && (addr as usize) < mem.len() {
+                    mem[addr as usize] = rd(&file, s.c as usize);
+                }
+                // Track the newest same-cycle run for the load-side scan;
+                // push/drain thresholds are the legacy ones.
+                if rs_last != t {
+                    rs_start = recent_stores.len();
+                    rs_last = t;
+                }
+                recent_stores.push((p.tags[pc], t));
+                if recent_stores.len() > 64 {
+                    recent_stores.drain(..32);
+                    rs_start = rs_start.saturating_sub(32);
+                }
+                // A store miss blocks in-order issue until the
+                // write-allocate fill completes (extra = 0 under perfect
+                // memory: bit-for-bit legacy timing).
+                let extra = memsys.access(Access::Store, addr as u64);
+                if extra > 0 {
+                    cursor = t + extra;
+                    slots = 0;
+                    br_used = 0;
+                    fu_slots = [0; 5];
+                }
+            }
+            DOp::BrI(c) => {
+                let t = issue!(s.flags & F_HAS_DST != 0, true, false);
+                let taken = c.eval(rd(&file, ai) as i64, rd(&file, bi) as i64);
+                bump(&mut br_exec, pc);
+                if taken {
+                    bump(&mut br_taken, pc);
+                    pc = taken_target(p, pc, s.target)?;
+                    cursor = t + lat;
+                    slots = 0;
+                    br_used = 0;
+                    fu_slots = [0; 5];
+                    continue;
+                }
+            }
+            DOp::BrF(c) => {
+                let t = issue!(s.flags & F_HAS_DST != 0, true, false);
+                let taken = c.eval(f64::from_bits(rd(&file, ai)), f64::from_bits(rd(&file, bi)));
+                bump(&mut br_exec, pc);
+                if taken {
+                    bump(&mut br_taken, pc);
+                    pc = taken_target(p, pc, s.target)?;
+                    cursor = t + lat;
+                    slots = 0;
+                    br_used = 0;
+                    fu_slots = [0; 5];
+                    continue;
+                }
+            }
+            DOp::Jump => {
+                let t = issue!(s.flags & F_HAS_DST != 0, true, false);
+                pc = taken_target(p, pc, s.target)?;
+                cursor = t + lat;
+                slots = 0;
+                br_used = 0;
+                fu_slots = [0; 5];
+                continue;
+            }
+            DOp::Halt => {
+                let t = issue!(s.flags & F_HAS_DST != 0, false, false);
+                dyn_insts -= 1; // halt is not work
+                let mut branch_profile = HashMap::new();
+                for (i, &e) in br_exec.iter().enumerate() {
+                    if e > 0 {
+                        let (block, index) = p.coord[i];
+                        branch_profile.insert((block, index as usize), (e, br_taken[i]));
+                    }
+                }
+                return Ok(SimResult {
+                    cycles: t + 1,
+                    dyn_insts,
+                    memory: mem,
+                    branch_profile,
+                    mem: memsys.stats(),
+                });
+            }
+            DOp::Trap(r) => {
+                // Interlocks, slot accounting and budget checks all run
+                // before the execute-stage error fires, exactly like the
+                // legacy engine (CycleLimit beats Malformed).
+                let _t = issue!(
+                    s.flags & F_HAS_DST != 0,
+                    s.flags & F_IS_BRANCH != 0,
+                    s.flags & F_IS_LOAD != 0
+                );
+                return Err(p.malformed(pc, r));
+            }
+        }
+        pc += 1;
+    }
+}
+
+/// Resolve a taken branch's pre-decoded target into the new pc.
+fn taken_target(p: &DecodedProgram, pc: usize, target: u32) -> Result<usize, SimError> {
+    match target {
+        TARGET_MISSING => Err(p.malformed(pc, R_MISSING_TARGET)),
+        TARGET_OOB => {
+            // The legacy engine indexes the block table and panics; upper
+            // layers (grid, guard, campaign) contain panics per point.
+            let (block, index) = p.coord[pc];
+            panic!("branch target out of range at B{block}[{index}]")
+        }
+        t => Ok(t as usize),
+    }
+}

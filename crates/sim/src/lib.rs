@@ -33,13 +33,23 @@
 //! order. A taken branch redirects fetch to its target starting the next
 //! cycle; instructions after it in the block are squashed (never executed —
 //! speculation legality is the scheduler's responsibility).
+//!
+//! ## Two engines, one specification
+//!
+//! [`simulate_limited`] runs the pre-decoded engine ([`decoded`]): a
+//! one-time [`decode`] pass lowers the module to flat struct-of-arrays
+//! records with pre-resolved operand indices, latencies and FU classes, and
+//! the hot loop runs over those with index-addressed scoreboards. The
+//! original tree-walking interpreter survives unchanged in [`reference`]
+//! (cargo feature `oracle`, default on) as the executable specification;
+//! the differential suite proves both engines cycle- and result-identical
+//! across the full evaluation grid.
 
 use ilpc_ir::interp::DataInit;
-use ilpc_ir::semantics::{eval_flt, eval_int};
-use ilpc_ir::value::{ArrayVal, Value};
-use ilpc_ir::{BlockId, Inst, MemLoc, Module, Opcode, Operand, Reg, RegClass, SymId, SymTab};
-use ilpc_machine::{fu_kind, FuKind, Machine};
-use ilpc_mem::{Access, MemStats};
+use ilpc_ir::value::ArrayVal;
+use ilpc_ir::{BlockId, Module, RegClass, SymId, SymTab};
+use ilpc_machine::Machine;
+use ilpc_mem::MemStats;
 
 /// Simulation statistics and final state.
 #[derive(Debug, Clone)]
@@ -156,90 +166,11 @@ pub fn read_symbol(symtab: &SymTab, memory: &[u64], sym: SymId) -> ArrayVal {
     }
 }
 
-struct Cpu {
-    int: Vec<i64>,
-    flt: Vec<f64>,
-    ready: [Vec<u64>; 2],
-    bases: Vec<usize>,
-    mem: Vec<u64>,
-    /// Stores issued recently: `(tag, issue_time)`.
-    recent_stores: Vec<(MemLoc, u64)>,
-    cycles: u64,
-    dyn_insts: u64,
-}
+pub mod decoded;
+#[cfg(feature = "oracle")]
+pub mod reference;
 
-impl Cpu {
-    // Every accessor is total: a malformed module (empty operand slot,
-    // out-of-range register id, wrong-class operand) surfaces as a reason
-    // string that `simulate` wraps into `SimError::Malformed` with the
-    // instruction's coordinates, never as a panic.
-    fn reg_value(&self, r: Reg) -> Result<Value, &'static str> {
-        match r.class {
-            RegClass::Int => {
-                self.int.get(r.id as usize).map(|&v| Value::I(v)).ok_or("register id out of range")
-            }
-            RegClass::Flt => {
-                self.flt.get(r.id as usize).map(|&v| Value::F(v)).ok_or("register id out of range")
-            }
-        }
-    }
-
-    fn operand(&self, o: Operand) -> Result<Value, &'static str> {
-        match o {
-            Operand::Reg(r) => self.reg_value(r),
-            Operand::ImmI(v) => Ok(Value::I(v)),
-            Operand::ImmF(v) => Ok(Value::F(v)),
-            Operand::Sym(s) => self
-                .bases
-                .get(s.0 as usize)
-                .map(|&b| Value::I(b as i64))
-                .ok_or("unknown symbol operand"),
-            Operand::None => Err("reading empty operand"),
-        }
-    }
-
-    fn int_operand(&self, o: Operand) -> Result<i64, &'static str> {
-        match self.operand(o)? {
-            Value::I(v) => Ok(v),
-            Value::F(_) => Err("float operand where integer expected"),
-        }
-    }
-
-    fn flt_operand(&self, o: Operand) -> Result<f64, &'static str> {
-        match self.operand(o)? {
-            Value::F(v) => Ok(v),
-            Value::I(_) => Err("integer operand where float expected"),
-        }
-    }
-
-    fn write(&mut self, r: Reg, v: Value, ready_at: u64) -> Result<(), &'static str> {
-        match (r.class, v) {
-            (RegClass::Int, Value::I(x)) => {
-                *self.int.get_mut(r.id as usize).ok_or("register id out of range")? = x;
-            }
-            (RegClass::Flt, Value::F(x)) => {
-                *self.flt.get_mut(r.id as usize).ok_or("register id out of range")? = x;
-            }
-            _ => return Err("class mismatch on register write"),
-        }
-        self.ready[r.class.index()][r.id as usize] = ready_at;
-        Ok(())
-    }
-
-    fn ready_at(&self, r: Reg) -> Result<u64, &'static str> {
-        self.ready[r.class.index()]
-            .get(r.id as usize)
-            .copied()
-            .ok_or("register id out of range")
-    }
-
-    /// Effective address of a memory instruction.
-    fn address(&self, inst: &Inst) -> Result<i64, &'static str> {
-        let base = self.int_operand(inst.src[0])?;
-        let off = self.int_operand(inst.src[1])?;
-        Ok(base.wrapping_add(off).wrapping_add(inst.ext))
-    }
-}
+pub use decoded::{decode, simulate_decoded, DecodedProgram};
 
 /// Execute `m` on `machine` starting from `init_mem`, with a cycle budget
 /// and the default work watchdog (see [`SimLimits::cycles`]).
@@ -253,268 +184,27 @@ pub fn simulate(
 }
 
 /// Execute `m` on `machine` starting from `init_mem` under explicit limits.
+///
+/// Decodes `m` once ([`decode`]) and runs the pre-decoded engine over it
+/// ([`simulate_decoded`]). Callers that simulate the same compiled module
+/// many times (parameter sweeps varying only simulator-side knobs) should
+/// decode once and call [`simulate_decoded`] per point; the harness
+/// artifact cache does exactly that.
 pub fn simulate_limited(
     m: &Module,
     machine: &Machine,
     init_mem: Vec<u64>,
     limits: SimLimits,
 ) -> Result<SimResult, SimError> {
-    let max_cycles = limits.max_cycles;
-    let f = &m.func;
-    let (bases, total) = m.symtab.layout();
-    let mut init_mem = init_mem;
-    if init_mem.len() < total {
-        init_mem.resize(total, 0);
-    }
-    let mut cpu = Cpu {
-        int: vec![0; f.vreg_count(RegClass::Int) as usize],
-        flt: vec![0.0; f.vreg_count(RegClass::Flt) as usize],
-        ready: [
-            vec![0; f.vreg_count(RegClass::Int) as usize],
-            vec![0; f.vreg_count(RegClass::Flt) as usize],
-        ],
-        bases,
-        mem: init_mem,
-        recent_stores: Vec::new(),
-        cycles: 0,
-        dyn_insts: 0,
-    };
-
-    let mut cur = f.entry();
-    // The data-memory hierarchy (perfect by default — zero extra cycles).
-    let mut memsys = machine.mem.build();
-    // Guard against degenerate machines built by hand (pub fields).
-    let issue_width = machine.issue_width.max(1);
-    let branch_slot_limit = machine.branch_slots.max(1);
-    // Issue bookkeeping: cursor cycle + slots consumed within it.
-    let mut cursor: u64 = 0;
-    let mut slots: u32 = 0;
-    let mut branch_slots: u32 = 0;
-    let mut fu_slots = [0u32; 4]; // IntAlu, IntMulDiv, Fp, Mem
-    let fu_index = |k: FuKind| match k {
-        FuKind::IntAlu => Some(0usize),
-        FuKind::IntMulDiv => Some(1),
-        FuKind::Fp => Some(2),
-        FuKind::Mem => Some(3),
-        FuKind::Branch => None,
-    };
-
-    let mut branch_profile: std::collections::HashMap<(u32, usize), (u64, u64)> =
-        std::collections::HashMap::new();
-
-    'blocks: loop {
-        let block = f.block(cur);
-        for (inst_idx, inst) in block.insts.iter().enumerate() {
-            if inst.op == Opcode::Nop {
-                continue;
-            }
-            // Structured errors for malformed modules (hand-edited or
-            // truncated `.ilpc` input) instead of panics.
-            let malformed = move |reason: &'static str| SimError::Malformed {
-                block: cur,
-                index: inst_idx,
-                reason,
-            };
-            let dst =
-                || inst.dst.ok_or_else(|| malformed("missing destination register"));
-            let mem_tag = || inst.mem.ok_or_else(|| malformed("missing memory tag"));
-            let target =
-                || inst.target.ok_or_else(|| malformed("missing branch target"));
-            let lat = machine.latency.of(inst) as u64;
-
-            // Earliest issue by interlocks.
-            let mut t = cursor;
-            for r in inst.uses() {
-                t = t.max(cpu.ready_at(r).map_err(malformed)?);
-            }
-            if let Some(d) = inst.def() {
-                // WAW: completion order (t + lat >= prev_ready + 1).
-                t = t.max((cpu.ready_at(d).map_err(malformed)? + 1).saturating_sub(lat));
-            }
-            if inst.op == Opcode::Load {
-                // Same-cycle aliasing store forces +1 (store visible at
-                // issue+1). Earlier-cycle stores are already visible.
-                let tag = mem_tag()?;
-                while cpu
-                    .recent_stores
-                    .iter()
-                    .any(|(s, ts)| *ts == t && s.may_alias(&tag))
-                {
-                    t += 1;
-                }
-            }
-
-            // Slot accounting (in-order issue, issue_width per cycle,
-            // one branch slot, per-class functional unit limits).
-            if t > cursor {
-                cursor = t;
-                slots = 0;
-                branch_slots = 0;
-                fu_slots = [0; 4];
-            }
-            let kind = fu_kind(inst);
-            loop {
-                let slot_full = slots >= issue_width;
-                let branch_full =
-                    inst.op.is_branch() && branch_slots >= branch_slot_limit;
-                let fu_full = fu_index(kind)
-                    .is_some_and(|fi| fu_slots[fi] >= machine.fu.of(kind));
-                if slot_full || branch_full || fu_full {
-                    cursor += 1;
-                    slots = 0;
-                    branch_slots = 0;
-                    fu_slots = [0; 4];
-                } else {
-                    break;
-                }
-            }
-            let t = cursor;
-            slots += 1;
-            if inst.op.is_branch() {
-                branch_slots += 1;
-            }
-            if let Some(fi) = fu_index(kind) {
-                fu_slots[fi] += 1;
-            }
-            if t > max_cycles {
-                return Err(SimError::CycleLimit(max_cycles));
-            }
-            cpu.dyn_insts += 1;
-            if cpu.dyn_insts > limits.max_dyn_insts {
-                return Err(SimError::DynInstLimit(limits.max_dyn_insts));
-            }
-
-            // Execute.
-            match inst.op {
-                Opcode::Mov => {
-                    let v = cpu.operand(inst.src[0]).map_err(malformed)?;
-                    cpu.write(dst()?, v, t + lat).map_err(malformed)?;
-                }
-                Opcode::Add
-                | Opcode::Sub
-                | Opcode::And
-                | Opcode::Or
-                | Opcode::Xor
-                | Opcode::Shl
-                | Opcode::Shr
-                | Opcode::Mul
-                | Opcode::Div
-                | Opcode::Rem => {
-                    let a = cpu.int_operand(inst.src[0]).map_err(malformed)?;
-                    let b = cpu.int_operand(inst.src[1]).map_err(malformed)?;
-                    cpu.write(dst()?, Value::I(eval_int(inst.op, a, b)), t + lat)
-                        .map_err(malformed)?;
-                }
-                Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv => {
-                    let a = cpu.flt_operand(inst.src[0]).map_err(malformed)?;
-                    let b = cpu.flt_operand(inst.src[1]).map_err(malformed)?;
-                    cpu.write(dst()?, Value::F(eval_flt(inst.op, a, b)), t + lat)
-                        .map_err(malformed)?;
-                }
-                Opcode::CvtIF => {
-                    let a = cpu.int_operand(inst.src[0]).map_err(malformed)?;
-                    cpu.write(dst()?, Value::F(a as f64), t + lat).map_err(malformed)?;
-                }
-                Opcode::CvtFI => {
-                    let a = cpu.flt_operand(inst.src[0]).map_err(malformed)?;
-                    cpu.write(dst()?, Value::I(a as i64), t + lat).map_err(malformed)?;
-                }
-                Opcode::Load => {
-                    let d = dst()?;
-                    let addr = cpu.address(inst).map_err(malformed)?;
-                    // Non-excepting: out-of-range reads return zero.
-                    let bits = if addr >= 0 && (addr as usize) < cpu.mem.len() {
-                        cpu.mem[addr as usize]
-                    } else {
-                        0
-                    };
-                    // A cache miss delays only this load's result (the
-                    // cache is non-blocking for loads); issue continues.
-                    let extra = memsys.access(Access::Load, addr as u64);
-                    cpu.write(d, Value::from_bits(bits, d.class), t + lat + extra)
-                        .map_err(malformed)?;
-                }
-                Opcode::Store => {
-                    let addr = cpu.address(inst).map_err(malformed)?;
-                    let val = cpu.operand(inst.src[2]).map_err(malformed)?;
-                    if addr >= 0 && (addr as usize) < cpu.mem.len() {
-                        cpu.mem[addr as usize] = val.to_bits();
-                    }
-                    let tag = mem_tag()?;
-                    cpu.recent_stores.push((tag, t));
-                    if cpu.recent_stores.len() > 64 {
-                        cpu.recent_stores.drain(..32);
-                    }
-                    // A store miss blocks in-order issue until the
-                    // write-allocate fill completes (extra = 0 under
-                    // perfect memory: bit-for-bit legacy timing).
-                    let extra = memsys.access(Access::Store, addr as u64);
-                    if extra > 0 {
-                        cursor = t + extra;
-                        slots = 0;
-                        branch_slots = 0;
-                        fu_slots = [0; 4];
-                    }
-                }
-                Opcode::Br(c) => {
-                    let lhs = cpu.operand(inst.src[0]).map_err(malformed)?;
-                    let rhs = cpu.operand(inst.src[1]).map_err(malformed)?;
-                    let taken = match (lhs, rhs) {
-                        (Value::I(a), Value::I(b)) => c.eval(a, b),
-                        (Value::F(a), Value::F(b)) => c.eval(a, b),
-                        _ => return Err(malformed("mixed-class branch comparison")),
-                    };
-                    {
-                        let e = branch_profile.entry((cur.0, inst_idx)).or_insert((0, 0));
-                        e.0 += 1;
-                        if taken {
-                            e.1 += 1;
-                        }
-                    }
-                    if taken {
-                        cur = target()?;
-                        cursor = t + lat;
-                        slots = 0;
-                        branch_slots = 0;
-                        fu_slots = [0; 4];
-                        continue 'blocks;
-                    }
-                }
-                Opcode::Jump => {
-                    cur = target()?;
-                    cursor = t + lat;
-                    slots = 0;
-                    branch_slots = 0;
-                    fu_slots = [0; 4];
-                    continue 'blocks;
-                }
-                Opcode::Halt => {
-                    cpu.dyn_insts -= 1; // halt is not work
-                    cpu.cycles = t + 1;
-                    return Ok(SimResult {
-                        cycles: cpu.cycles,
-                        dyn_insts: cpu.dyn_insts,
-                        memory: cpu.mem,
-                        branch_profile,
-                        mem: memsys.stats(),
-                    });
-                }
-                Opcode::Nop => unreachable!(),
-            }
-        }
-        // Fall through to the next layout block.
-        match f.fallthrough(cur) {
-            Some(next) => cur = next,
-            None => return Err(SimError::FellOffEnd(cur)),
-        }
-    }
+    let program = decoded::decode(m, machine);
+    decoded::simulate_decoded(&program, machine, init_mem, limits)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ilpc_ir::inst::Inst;
-    use ilpc_ir::Cond;
+    use ilpc_ir::{Cond, MemLoc, Opcode, Operand, Reg};
 
     /// Figure 1b loop: each iteration takes 7 cycles on the unlimited
     /// machine (loads 0, fadd 2, store 5, add 5, blt 6, redirect 7).
@@ -960,5 +650,61 @@ mod tests {
         assert_eq!(read_symbol(&m.symtab, &res.memory, out), ArrayVal::I(vec![5]));
         // store at 0; load pushed to 1, ready 3; store out at 3; halt 3 → 4.
         assert_eq!(res.cycles, 4);
+    }
+
+    /// The pre-decoded engine and the legacy oracle agree on every
+    /// observable — cycles, work, memory image, branch profile, memory
+    /// stats — under perfect and cached memory alike. (The exhaustive
+    /// version of this check runs over the full grid in
+    /// `tests/engine_differential.rs`.)
+    #[cfg(feature = "oracle")]
+    #[test]
+    fn decoded_engine_matches_reference_oracle() {
+        use ilpc_machine::CacheParams;
+        let n = 64usize;
+        let (m, _) = sum_module(n);
+        let mut mem = vec![0u64; n + 1];
+        for (k, w) in mem.iter_mut().enumerate().take(n) {
+            *w = (k as f64 * 0.5).to_bits();
+        }
+        for machine in [
+            Machine::issue(1),
+            Machine::issue(4),
+            Machine::unlimited(),
+            Machine::issue(4).with_cache(CacheParams::new(4, 4, 1, 20, 20)),
+        ] {
+            let fast = simulate(&m, &machine, mem.clone(), 1_000_000).unwrap();
+            let oracle =
+                reference::simulate_reference(&m, &machine, mem.clone(), 1_000_000).unwrap();
+            assert_eq!(fast.cycles, oracle.cycles);
+            assert_eq!(fast.dyn_insts, oracle.dyn_insts);
+            assert_eq!(fast.memory, oracle.memory);
+            assert_eq!(fast.branch_profile, oracle.branch_profile);
+            assert_eq!(fast.mem, oracle.mem);
+        }
+    }
+
+    /// Decode-once reuse: one `DecodedProgram` serves repeated simulations
+    /// (what the harness artifact cache does across sweep points).
+    #[test]
+    fn decoded_program_is_reusable_across_runs() {
+        let (m, out) = sum_module(16);
+        let machine = Machine::issue(4);
+        let program = decode(&m, &machine);
+        assert!(program.num_records() > 0);
+        assert_eq!(program.latency(), &machine.latency);
+        let mut mem = vec![0u64; 17];
+        for (k, w) in mem.iter_mut().enumerate().take(16) {
+            *w = (k as f64).to_bits();
+        }
+        let limits = SimLimits::cycles(10_000);
+        let r1 = simulate_decoded(&program, &machine, mem.clone(), limits).unwrap();
+        let r2 = simulate_decoded(&program, &machine, mem, limits).unwrap();
+        assert_eq!(r1.cycles, r2.cycles);
+        assert_eq!(r1.memory, r2.memory);
+        assert_eq!(
+            read_symbol(&m.symtab, &r1.memory, out),
+            ArrayVal::F(vec![(0..16).map(|k| k as f64).sum()]),
+        );
     }
 }

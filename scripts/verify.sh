@@ -42,6 +42,11 @@ cargo check --workspace --all-targets --offline
 echo "== offline test suite =="
 cargo test -q --offline
 
+echo "== bench regression gate =="
+# Re-runs the grid bench and fails if simulator cycles/sec regresses >25%
+# against the committed BENCH_grid.json (tolerance via ILPC_BENCH_TOLERANCE).
+scripts/bench_check.sh
+
 echo "== cache-sensitivity smoke (reduced grid) =="
 # The new memory-hierarchy subsystem end-to-end: a quick cache sweep over
 # the 40-workload grid. Deterministic, offline, and self-checking (the bin
