@@ -27,7 +27,8 @@ use std::sync::OnceLock;
 fn shared_grid() -> &'static Grid {
     static GRID: OnceLock<Grid> = OnceLock::new();
     GRID.get_or_init(|| {
-        let grid = run_grid(&GridConfig { scale: 0.1, ..GridConfig::default() });
+        let grid = run_grid(&GridConfig { scale: 0.1, ..GridConfig::default() })
+            .expect("grid config rejected");
         assert!(grid.errors.is_empty(), "{:#?}", grid.errors);
         grid
     })
@@ -77,7 +78,8 @@ fn bench_grid_rebuild(h: &mut Harness) {
             widths: vec![1, 8],
             threads: 4,
             ..GridConfig::default()
-        });
+        })
+        .expect("grid config rejected");
         assert!(grid.errors.is_empty());
         grid
     });

@@ -14,9 +14,11 @@
 
 use ilpc_core::level::Level;
 use ilpc_harness::compile::compile;
-use ilpc_harness::grid::{run_grid, GridConfig};
+use ilpc_harness::grid::{run_grid, run_grid_forkjoin, GridConfig};
+use ilpc_harness::sweep::{run_sweep, Scenario, SweepConfig};
 use ilpc_harness::ArtifactCache;
 use ilpc_machine::{CacheParams, Machine, MemConfig};
+use std::sync::Arc;
 use ilpc_sim::reference::simulate_reference;
 use ilpc_sim::{decode, memory_from_init, simulate, simulate_decoded, SimLimits};
 use ilpc_testkit::bench::Harness;
@@ -34,7 +36,7 @@ fn bench_grid_wall(h: &mut Harness) {
     };
     let mut cycles_per_run = 0u64;
     h.bench_n("grid/wall", 5, || {
-        let grid = run_grid(&cfg);
+        let grid = run_grid(&cfg).expect("grid config rejected");
         assert!(grid.errors.is_empty(), "{:#?}", grid.errors);
         cycles_per_run = 0;
         for m in &grid.meta {
@@ -132,6 +134,74 @@ fn bench_artifact_sweep(h: &mut Harness) {
     );
 }
 
+fn bench_sweep_engines(h: &mut Harness) {
+    // Skewed multi-config sweep: one cheap scenario (perfect memory) and
+    // one expensive scenario (a tiny cache with long miss latencies), so
+    // per-point costs are deliberately unbalanced. The fork-join entry
+    // models the legacy approach — one `run_grid_forkjoin` barrier per
+    // scenario; the work-stealing entry evaluates the identical points
+    // through `run_sweep`'s single pool. Both share one pre-warmed
+    // artifact cache so the measured quantity is scheduling + simulation,
+    // and `elems` counts evaluated points, so `elem/s` is point
+    // throughput and directly comparable across the two entries.
+    let scale = 0.02;
+    let levels = vec![Level::Conv, Level::Lev2, Level::Lev4];
+    let widths = vec![1u32, 8];
+    let slow_cache = MemConfig::Cache(CacheParams::new(4, 8, 2, 100, 100));
+    let scenarios = vec![Scenario::mem(MemConfig::Perfect), Scenario::mem(slow_cache)];
+    let points = (40 * levels.len() * widths.len() * scenarios.len()) as u64;
+
+    let artifacts = Arc::new(ArtifactCache::new());
+    // Warm the cache (and check the two paths agree) before timing.
+    let warm = run_sweep(&SweepConfig {
+        scale,
+        levels: levels.clone(),
+        widths: widths.clone(),
+        threads: 4,
+        scenarios: scenarios.clone(),
+        sabotage: None,
+        artifacts: Some(Arc::clone(&artifacts)),
+    })
+    .expect("sweep config rejected");
+    assert_eq!(warm.total_errors(), 0);
+
+    h.bench_elems("sweep/forkjoin", points, || {
+        let mut completed = 0usize;
+        for s in &scenarios {
+            let g = run_grid_forkjoin(&GridConfig {
+                scale,
+                levels: levels.clone(),
+                widths: widths.clone(),
+                threads: 4,
+                mem: s.mem,
+                sabotage: None,
+                artifacts: Some(Arc::clone(&artifacts)),
+            })
+            .expect("grid config rejected");
+            assert!(g.errors.is_empty());
+            completed += g.completed();
+        }
+        assert_eq!(completed as u64, points);
+        completed
+    });
+    h.bench_elems("sweep/worksteal", points, || {
+        let sweep = run_sweep(&SweepConfig {
+            scale,
+            levels: levels.clone(),
+            widths: widths.clone(),
+            threads: 4,
+            scenarios: scenarios.clone(),
+            sabotage: None,
+            artifacts: Some(Arc::clone(&artifacts)),
+        })
+        .expect("sweep config rejected");
+        assert_eq!(sweep.total_errors(), 0);
+        let completed: usize = sweep.grids.iter().map(|g| g.completed()).sum();
+        assert_eq!(completed as u64, points);
+        completed
+    });
+}
+
 fn main() {
     // Pin the output location: BENCH_grid.json always lands at the repo
     // root, not wherever cargo happens to set the cwd.
@@ -141,5 +211,6 @@ fn main() {
     bench_grid_wall(&mut h);
     bench_sim_throughput(&mut h);
     bench_artifact_sweep(&mut h);
+    bench_sweep_engines(&mut h);
     h.finish();
 }

@@ -147,6 +147,34 @@ impl GuardReport {
     pub fn skipped(&self) -> impl Iterator<Item = &'static str> + '_ {
         self.incidents.iter().map(|i| i.pass)
     }
+
+    /// Flat, owned incident records for wire formats and logs (the
+    /// `ilpc-serve` protocol reports these per request).
+    pub fn records(&self) -> Vec<IncidentRecord> {
+        self.incidents.iter().map(IncidentRecord::from).collect()
+    }
+}
+
+/// A flattened [`Incident`] for transport: plain owned fields, stable
+/// [`GuardErrorKind::name`] string, no lifetimes — what a serving layer
+/// puts on the wire per request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncidentRecord {
+    pub step: usize,
+    pub pass: String,
+    pub kind: String,
+    pub detail: String,
+}
+
+impl From<&Incident> for IncidentRecord {
+    fn from(i: &Incident) -> IncidentRecord {
+        IncidentRecord {
+            step: i.step,
+            pass: i.pass.to_string(),
+            kind: i.error.kind.name().to_string(),
+            detail: i.error.detail.clone(),
+        }
+    }
 }
 
 /// Architectural-result oracle for differential spot-checks.

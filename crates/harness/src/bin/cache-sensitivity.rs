@@ -37,7 +37,8 @@ fn grid_for(
         mem,
         artifacts: Some(Arc::clone(artifacts)),
         ..GridConfig::default()
-    });
+    })
+    .expect("grid config rejected");
     assert!(grid.errors.is_empty(), "{:#?}", grid.errors);
     // Acceptance invariant: consistent cache statistics on every point.
     for m in &grid.meta {
@@ -95,20 +96,22 @@ fn main() {
     println!("baseline: issue-1 Conv, perfect memory; scale {scale}");
     println!();
 
-    // Perfect-memory reference: the shared baseline and the upper bound.
-    let mut base_widths = widths.clone();
-    if !base_widths.contains(&1) {
-        base_widths.push(1);
+    // Every grid carries the (Conv, issue-1) baseline axes: `run_grid`
+    // validates them, and a self-contained grid is what lets the perfect
+    // and cached runs share one artifact cache with a clean invariant.
+    let mut eval_widths = widths.clone();
+    if !eval_widths.contains(&1) {
+        eval_widths.push(1);
     }
-    let mut base_levels = levels.clone();
-    if !base_levels.contains(&Level::Conv) {
-        base_levels.push(Level::Conv);
+    let mut eval_levels = levels.clone();
+    if !eval_levels.contains(&Level::Conv) {
+        eval_levels.push(Level::Conv);
     }
     // One shared artifact cache across the whole sweep: compilation depends
     // only on the machine's compile key, so every memory configuration
     // below reuses the compiled + pre-decoded artifacts built here.
     let artifacts = Arc::new(ArtifactCache::new());
-    let perfect = grid_for(MemConfig::Perfect, scale, &base_levels, &base_widths, &artifacts);
+    let perfect = grid_for(MemConfig::Perfect, scale, &eval_levels, &eval_widths, &artifacts);
 
     let header = |tag: &str| {
         print!("{:<30} {:>5} {:>7}", tag, "width", "hit%");
@@ -130,11 +133,14 @@ fn main() {
     for &(size_name, sets) in sizes {
         for &lat in miss_lats {
             let params = CacheParams::new(4, sets, 2, lat, lat);
-            let g = grid_for(MemConfig::Cache(params), scale, &levels, &widths, &artifacts);
+            let g =
+                grid_for(MemConfig::Cache(params), scale, &eval_levels, &eval_widths, &artifacts);
             let tag = format!("L1 {size_name} ({}) m{lat}", params.name());
             for &width in &widths {
-                let hit =
-                    g.hit_rate(g.meta.iter().map(|m| m.name), *levels.last().unwrap(), width);
+                let hit = g
+                    .hit_rate(g.meta.iter().map(|m| m.name), *levels.last().unwrap(), width)
+                    .complete()
+                    .expect("clean grid must aggregate completely");
                 print!("{:<30} {:>5} {:>7.1}", tag, width, hit * 100.0);
                 for &level in &levels {
                     print!(" {:>6.2}x", mean_speedup(&g, &perfect, level, width));
@@ -153,7 +159,7 @@ fn main() {
     // grid passes are pure artifact-cache hits. This is the acceptance
     // invariant for the compile-artifact cache; fail loudly if it slips.
     let c = artifacts.counters();
-    let distinct = 40 * base_levels.len() * base_widths.len();
+    let distinct = 40 * eval_levels.len() * eval_widths.len();
     println!(
         "artifact cache: {} compiles / {} hits ({} distinct artifacts), \
 reference interp: {} runs / {} hits",

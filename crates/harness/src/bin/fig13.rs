@@ -4,7 +4,7 @@ use ilpc_harness::grid::{run_grid, GridConfig};
 
 fn main() {
     let cfg = GridConfig::default();
-    let grid = run_grid(&cfg);
+    let grid = run_grid(&cfg).expect("grid config rejected");
     assert!(grid.errors.is_empty(), "{:#?}", grid.errors);
     let out = match "13" {
         "08" => render_histogram(

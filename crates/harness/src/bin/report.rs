@@ -38,7 +38,13 @@ fn main() {
         cfg.widths,
         cfg.scale
     );
-    let grid = run_grid(&cfg);
+    let grid = match run_grid(&cfg) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("CONFIG ERROR: {e}");
+            std::process::exit(2);
+        }
+    };
     if !grid.errors.is_empty() {
         eprintln!("EVALUATION ERRORS:");
         for e in &grid.errors {

@@ -3,7 +3,7 @@
 use ilpc_harness::grid::{run_grid, GridConfig};
 
 fn main() {
-    let grid = run_grid(&GridConfig::default());
+    let grid = run_grid(&GridConfig::default()).expect("grid config rejected");
     assert!(grid.errors.is_empty(), "{:#?}", grid.errors);
     println!("{}", ilpc_harness::figures::render_summary(&grid));
 }

@@ -279,10 +279,17 @@ pub fn render_summary(grid: &Grid) -> String {
             grid.mean_regs(all(), level, 8)
         );
     }
-    let conv = grid.mean_regs(all(), Level::Conv, 8);
-    let lev4 = grid.mean_regs(all(), Level::Lev4, 8);
-    if conv > 0.0 {
-        let _ = writeln!(out, "register growth Conv -> Lev4: {:.2}x", lev4 / conv);
+    // Register growth only over full coverage: a ratio of two partial
+    // means (different holes in each) would be meaningless.
+    let conv = grid.mean_regs(all(), Level::Conv, 8).complete();
+    let lev4 = grid.mean_regs(all(), Level::Lev4, 8).complete();
+    match (conv, lev4) {
+        (Some(c), Some(l)) if c > 0.0 => {
+            let _ = writeln!(out, "register growth Conv -> Lev4: {:.2}x", l / c);
+        }
+        _ => {
+            let _ = writeln!(out, "register growth Conv -> Lev4: n/a (incomplete grid)");
+        }
     }
     let under128 = grid
         .meta

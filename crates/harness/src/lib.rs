@@ -14,10 +14,17 @@ pub mod figures;
 pub mod grid;
 pub mod profile;
 pub mod run;
+pub mod steal;
+pub mod sweep;
 
 pub use artifact::{Artifact, ArtifactCache, CacheCounters};
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Outcome};
 pub use compile::{compile, compile_guarded, compile_set, Compiled, GuardedCompile};
-pub use grid::{run_grid, Grid, GridConfig, GridError, PointError, Sabotage, SabotageMode};
+pub use grid::{
+    run_grid, run_grid_forkjoin, Aggregate, Grid, GridConfig, GridConfigError, GridError,
+    PointError, Sabotage, SabotageMode,
+};
 pub use profile::{compile_with_profile, evaluate_with_profile};
 pub use run::{evaluate, evaluate_set, run_compiled, EvalPoint};
+pub use steal::StealStats;
+pub use sweep::{run_sweep, Scenario, Sweep, SweepConfig};

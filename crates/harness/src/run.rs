@@ -26,7 +26,7 @@ pub fn cycle_budget(stmts_executed: u64) -> u64 {
 }
 
 /// One measured grid point.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalPoint {
     pub cycles: u64,
     pub dyn_insts: u64,

@@ -1,0 +1,78 @@
+//! `ilpc-serve` — the long-running evaluation service.
+//!
+//! ```text
+//! # JSON-lines over stdin/stdout (default):
+//! printf '%s\n' \
+//!   '{"id":1,"op":"simulate","workload":"dotprod","level":"Lev4","width":8}' \
+//!   | cargo run --release -p ilpc-serve --bin ilpc-serve
+//!
+//! # TCP mode:
+//! cargo run --release -p ilpc-serve --bin ilpc-serve -- --tcp 127.0.0.1:7199
+//! ```
+//!
+//! Flags: `--workers N` (job workers, default 2), `--queue N` (bounded
+//! queue capacity, default 64), `--sweep-threads N` (stealing pool per
+//! sweep, default = cores), `--tcp ADDR` (serve TCP instead of stdin).
+//!
+//! The process never exits on bad input: malformed lines, invalid configs
+//! and failed evaluations come back as typed error replies, and a full
+//! queue rejects with `overloaded` instead of buffering without bound.
+
+use ilpc_serve::{serve_lines, serve_tcp, ServeConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = ServeConfig::default();
+    let mut tcp: Option<String> = None;
+    let mut k = 1;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--workers" => {
+                cfg.workers = args[k + 1].parse().expect("--workers N");
+                k += 2;
+            }
+            "--queue" => {
+                cfg.queue = args[k + 1].parse().expect("--queue N");
+                k += 2;
+            }
+            "--sweep-threads" => {
+                cfg.sweep_threads = args[k + 1].parse().expect("--sweep-threads N");
+                k += 2;
+            }
+            "--tcp" => {
+                tcp = Some(args[k + 1].clone());
+                k += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!(
+                    "usage: ilpc-serve [--workers N] [--queue N] [--sweep-threads N] \
+                     [--tcp ADDR]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    match tcp {
+        Some(addr) => {
+            let (local, accept_loop) =
+                serve_tcp(&cfg, &addr, None).expect("bind TCP listener");
+            eprintln!("ilpc-serve listening on {local}");
+            accept_loop.join().expect("accept loop");
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            if let Err(e) = serve_lines(&cfg, &mut stdin.lock(), &mut stdout.lock()) {
+                // A reader that hangs up early (head, a dead pipe) is a
+                // normal way for a stream session to end, not a failure.
+                if e.kind() == std::io::ErrorKind::BrokenPipe {
+                    return;
+                }
+                eprintln!("ilpc-serve: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

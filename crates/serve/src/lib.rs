@@ -1,0 +1,19 @@
+//! # ilpc-serve — long-running evaluation service
+//!
+//! Turns the harness into a service: JSON-lines requests (`compile`,
+//! `simulate`, `sweep`, `batch`) over stdin or TCP, executed by a worker
+//! pool behind a bounded queue with reject-on-full backpressure. Sweeps
+//! run on the work-stealing engine (`ilpc_harness::sweep`) and share
+//! per-scale compile-artifact caches across requests; guard incidents ride
+//! each `compile` reply as typed records.
+//!
+//! See `crates/serve/src/proto.rs` for the wire format and DESIGN.md §15
+//! for the full protocol contract.
+
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use json::{obj, parse, Json};
+pub use proto::{err_reply, ok_reply, parse_request, ErrorKind, Op, Request};
+pub use server::{serve_lines, serve_script, serve_tcp, ServeConfig, Server, MAX_LINE_BYTES};

@@ -1,0 +1,387 @@
+//! The `ilpc-serve` wire protocol: JSON-lines requests and replies.
+//!
+//! One request object per line. Every request carries a caller-chosen
+//! `id` that is echoed verbatim in the reply, so clients can pipeline
+//! requests and match replies out of order:
+//!
+//! ```text
+//! {"id":1,"op":"compile","workload":"dotprod","level":"Lev4","width":8}
+//! {"id":2,"op":"simulate","workload":"add","level":"Lev2","width":4,
+//!  "mem":{"kind":"cache","line_words":4,"sets":16,"ways":2,
+//!         "load_miss":30,"store_miss":30}}
+//! {"id":3,"op":"sweep","scale":0.02,"levels":["Conv","Lev2"],
+//!  "widths":[1,8],"mems":[{"kind":"perfect"},{"kind":"cache","sets":16}]}
+//! {"id":4,"op":"batch","requests":[{...},{...}]}
+//! ```
+//!
+//! Replies are `{"id":…,"ok":true,"result":{…}}` or
+//! `{"id":…,"ok":false,"error":{"kind":"<kind>","detail":"…"}}` with one
+//! of the typed kinds in [`ErrorKind`]. A request the server cannot even
+//! parse is answered with `id: null` and `kind: "bad-request"` — the
+//! process never exits on bad input.
+
+use crate::json::{obj, Json};
+use ilpc_core::level::Level;
+use ilpc_harness::grid::{Sabotage, SabotageMode};
+use ilpc_machine::{CacheParams, MemConfig};
+use std::fmt;
+
+/// Typed error taxonomy of the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line was not valid JSON, or not a valid request shape.
+    BadRequest,
+    /// The bounded queue is full; retry later (backpressure, never OOM).
+    Overloaded,
+    /// The evaluation itself failed (differential mismatch, budget,
+    /// contained panic) — reported per request, the server keeps serving.
+    EvalFailed,
+    /// A structurally valid request with rejected semantics (unknown
+    /// workload/level, invalid grid axes, bad scale).
+    BadConfig,
+    /// A contained internal failure (a panic inside the handler).
+    Internal,
+}
+
+impl ErrorKind {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::EvalFailed => "eval-failed",
+            ErrorKind::BadConfig => "bad-config",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed request error: kind plus human-readable detail.
+pub type ReqError = (ErrorKind, String);
+
+fn bad(detail: impl Into<String>) -> ReqError {
+    (ErrorKind::BadRequest, detail.into())
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Echoed verbatim in the reply (`null` if absent).
+    pub id: Json,
+    pub op: Op,
+}
+
+/// Request operations.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Compile one (workload, level, width) point under the guard and
+    /// report achieved level + typed incidents.
+    Compile { workload: String, level: Level, width: u32, scale: f64 },
+    /// Compile + simulate + differentially verify one point.
+    Simulate { workload: String, level: Level, width: u32, scale: f64, mem: MemConfig },
+    /// Multi-scenario sweep over the whole catalog on the work-stealing
+    /// pool (see `ilpc_harness::sweep`).
+    Sweep {
+        scale: f64,
+        levels: Vec<Level>,
+        widths: Vec<u32>,
+        mems: Vec<MemConfig>,
+        sabotage: Option<Sabotage>,
+    },
+    /// Several requests executed as one job; replies come back as one
+    /// array in submission order.
+    Batch(Vec<Request>),
+}
+
+/// Parse one request line (already validated as JSON by the caller).
+pub fn parse_request(v: &Json) -> Result<Request, ReqError> {
+    parse_request_inner(v, false)
+}
+
+fn parse_request_inner(v: &Json, in_batch: bool) -> Result<Request, ReqError> {
+    let id = v.get("id").cloned().unwrap_or(Json::Null);
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing or non-string \"op\""))?;
+    let op = match op {
+        "compile" => {
+            let (workload, level, width, scale) = point_fields(v)?;
+            Op::Compile { workload, level, width, scale }
+        }
+        "simulate" => {
+            let (workload, level, width, scale) = point_fields(v)?;
+            let mem = match v.get("mem") {
+                None => MemConfig::Perfect,
+                Some(m) => parse_mem(m)?,
+            };
+            Op::Simulate { workload, level, width, scale, mem }
+        }
+        "sweep" => {
+            let scale = opt_f64(v, "scale")?.unwrap_or(0.05);
+            let levels = match v.get("levels") {
+                None => Level::ALL.to_vec(),
+                Some(l) => l
+                    .as_arr()
+                    .ok_or_else(|| bad("\"levels\" must be an array"))?
+                    .iter()
+                    .map(parse_level)
+                    .collect::<Result<_, _>>()?,
+            };
+            let widths = match v.get("widths") {
+                None => vec![1, 8],
+                Some(w) => w
+                    .as_arr()
+                    .ok_or_else(|| bad("\"widths\" must be an array"))?
+                    .iter()
+                    .map(|x| {
+                        x.as_u64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or_else(|| bad("widths must be non-negative integers"))
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            let mems = match v.get("mems") {
+                None => vec![MemConfig::Perfect],
+                Some(m) => m
+                    .as_arr()
+                    .ok_or_else(|| bad("\"mems\" must be an array"))?
+                    .iter()
+                    .map(parse_mem)
+                    .collect::<Result<_, _>>()?,
+            };
+            let sabotage = match v.get("sabotage") {
+                None => None,
+                Some(s) => Some(parse_sabotage(s)?),
+            };
+            Op::Sweep { scale, levels, widths, mems, sabotage }
+        }
+        "batch" => {
+            if in_batch {
+                return Err(bad("nested \"batch\" requests are not allowed"));
+            }
+            let reqs = v
+                .get("requests")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("\"batch\" needs a \"requests\" array"))?;
+            if reqs.is_empty() {
+                return Err(bad("\"batch\" with no requests"));
+            }
+            let parsed = reqs
+                .iter()
+                .map(|r| parse_request_inner(r, true))
+                .collect::<Result<Vec<_>, _>>()?;
+            Op::Batch(parsed)
+        }
+        other => return Err(bad(format!("unknown op {other:?}"))),
+    };
+    Ok(Request { id, op })
+}
+
+fn point_fields(v: &Json) -> Result<(String, Level, u32, f64), ReqError> {
+    let workload = v
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing or non-string \"workload\""))?
+        .to_string();
+    let level = parse_level(
+        v.get("level").ok_or_else(|| bad("missing \"level\""))?,
+    )?;
+    let width = v
+        .get("width")
+        .and_then(Json::as_u64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| bad("missing or invalid \"width\""))?;
+    let scale = opt_f64(v, "scale")?.unwrap_or(0.05);
+    Ok((workload, level, width, scale))
+}
+
+fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, ReqError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| bad(format!("\"{key}\" must be a number"))),
+    }
+}
+
+fn parse_level(v: &Json) -> Result<Level, ReqError> {
+    let s = v.as_str().ok_or_else(|| bad("level must be a string"))?;
+    Level::ALL
+        .into_iter()
+        .find(|l| l.name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| bad(format!("unknown level {s:?} (Conv, Lev1..Lev4)")))
+}
+
+fn parse_mem(v: &Json) -> Result<MemConfig, ReqError> {
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("mem config needs a \"kind\""))?;
+    match kind {
+        "perfect" => Ok(MemConfig::Perfect),
+        "cache" => {
+            let field = |key: &str, default: u32| -> Result<u32, ReqError> {
+                match v.get(key) {
+                    None => Ok(default),
+                    Some(x) => x
+                        .as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| bad(format!("cache \"{key}\" must be an integer"))),
+                }
+            };
+            Ok(MemConfig::Cache(CacheParams::new(
+                field("line_words", 4)?,
+                field("sets", 16)?,
+                field("ways", 2)?,
+                field("load_miss", 30)?,
+                field("store_miss", 30)?,
+            )))
+        }
+        other => Err(bad(format!("unknown mem kind {other:?}"))),
+    }
+}
+
+fn parse_sabotage(v: &Json) -> Result<Sabotage, ReqError> {
+    let workload = v
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("sabotage needs \"workload\""))?
+        .to_string();
+    let level = parse_level(v.get("level").ok_or_else(|| bad("sabotage needs \"level\""))?)?;
+    let width = v
+        .get("width")
+        .and_then(Json::as_u64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| bad("sabotage needs an integer \"width\""))?;
+    let mode = match v.get("mode").and_then(Json::as_str) {
+        None | Some("panic") => SabotageMode::Panic,
+        Some("corrupt") => SabotageMode::Corrupt,
+        Some(other) => return Err(bad(format!("unknown sabotage mode {other:?}"))),
+    };
+    Ok(Sabotage { workload, level, width, mode })
+}
+
+/// Success reply line.
+pub fn ok_reply(id: &Json, result: Json) -> String {
+    obj([("id", id.clone()), ("ok", Json::Bool(true)), ("result", result)]).to_string()
+}
+
+/// Typed error reply line.
+pub fn err_reply(id: &Json, kind: ErrorKind, detail: &str) -> String {
+    obj([
+        ("id", id.clone()),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj([("kind", Json::str(kind.name())), ("detail", Json::str(detail))]),
+        ),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn parses_the_three_ops_and_batch() {
+        let r = parse_request(
+            &parse(r#"{"id":1,"op":"compile","workload":"dotprod","level":"Lev4","width":8}"#)
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(r.op, Op::Compile { ref workload, level: Level::Lev4, width: 8, .. }
+            if workload == "dotprod"));
+
+        let r = parse_request(
+            &parse(
+                r#"{"op":"simulate","workload":"add","level":"conv","width":1,
+                   "mem":{"kind":"cache","sets":8}}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(r.id, Json::Null);
+        assert!(matches!(r.op, Op::Simulate { level: Level::Conv, mem: MemConfig::Cache(_), .. }));
+
+        let r = parse_request(
+            &parse(
+                r#"{"id":"s","op":"sweep","scale":0.02,"levels":["Conv","Lev2"],
+                   "widths":[1,8],"mems":[{"kind":"perfect"}],
+                   "sabotage":{"workload":"add","level":"Lev2","width":8}}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        match r.op {
+            Op::Sweep { scale, levels, widths, mems, sabotage } => {
+                assert_eq!(scale, 0.02);
+                assert_eq!(levels, vec![Level::Conv, Level::Lev2]);
+                assert_eq!(widths, vec![1, 8]);
+                assert_eq!(mems.len(), 1);
+                assert_eq!(sabotage.unwrap().mode, SabotageMode::Panic);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let r = parse_request(
+            &parse(
+                r#"{"id":9,"op":"batch","requests":[
+                    {"id":"a","op":"compile","workload":"add","level":"Conv","width":1},
+                    {"id":"b","op":"compile","workload":"add","level":"Lev2","width":8}]}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(r.op, Op::Batch(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn typed_rejections() {
+        for (line, needle) in [
+            (r#"{"id":1}"#, "op"),
+            (r#"{"op":"warp"}"#, "unknown op"),
+            (r#"{"op":"compile","workload":"add","level":"Lev9","width":8}"#, "unknown level"),
+            (r#"{"op":"compile","workload":"add","level":"Lev2"}"#, "width"),
+            (r#"{"op":"compile","level":"Lev2","width":8}"#, "workload"),
+            (r#"{"op":"sweep","mems":[{"kind":"quantum"}]}"#, "mem kind"),
+            (r#"{"op":"sweep","widths":[1,-8]}"#, "widths"),
+            (r#"{"op":"batch","requests":[]}"#, "no requests"),
+            (
+                r#"{"op":"batch","requests":[{"op":"batch","requests":[
+                    {"op":"compile","workload":"a","level":"Conv","width":1}]}]}"#,
+                "nested",
+            ),
+        ] {
+            let (kind, detail) = parse_request(&parse(line).unwrap()).unwrap_err();
+            assert_eq!(kind, ErrorKind::BadRequest, "{line}");
+            assert!(detail.contains(needle), "{line}: {detail}");
+        }
+    }
+
+    #[test]
+    fn replies_are_single_parseable_lines() {
+        let ok = ok_reply(&Json::num(3.0), obj([("cycles", Json::num(12.0))]));
+        assert!(!ok.contains('\n'));
+        let v = parse(&ok).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("result").and_then(|r| r.get("cycles")), Some(&Json::Num(12.0)));
+
+        let err = err_reply(&Json::Null, ErrorKind::Overloaded, "queue full (4 jobs)");
+        let v = parse(&err).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("overloaded")
+        );
+    }
+}

@@ -1,0 +1,551 @@
+//! The serving engine: a bounded job queue, a worker pool, and the
+//! request handlers.
+//!
+//! Three invariants a long-running evaluation service must keep:
+//!
+//! * **never exit on input**: malformed lines, invalid configs and failed
+//!   evaluations all become typed error replies ([`crate::proto::ErrorKind`]);
+//!   handler panics are contained with `catch_unwind` and reported as
+//!   `internal`;
+//! * **never OOM**: admission happens through a bounded queue — when it is
+//!   full the request is *rejected immediately* with an `overloaded`
+//!   reply (backpressure by rejection, not by buffering), and incoming
+//!   lines are length-capped ([`MAX_LINE_BYTES`]) with the oversized
+//!   remainder drained, not stored;
+//! * **reuse work**: one [`ArtifactCache`] per trip-count scale, shared by
+//!   every worker, so repeated `simulate`/`sweep` requests against the
+//!   same scale skip recompilation entirely (the cache's contract binds it
+//!   to one catalog + scale — hence the per-scale map).
+
+use crate::json::{obj, parse, Json};
+use crate::proto::{err_reply, ok_reply, parse_request, ErrorKind, Op, Request};
+use ilpc_guard::GuardConfig;
+use ilpc_harness::grid::PointError;
+use ilpc_harness::sweep::{run_sweep, Scenario, SweepConfig};
+use ilpc_harness::ArtifactCache;
+use ilpc_machine::Machine;
+use ilpc_workloads::{build, table2, Workload};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Hard cap on one request line. A line larger than this is answered with
+/// a typed `bad-request` and drained from the stream without buffering.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected with
+    /// `overloaded`.
+    pub queue: usize,
+    /// Worker threads available to each sweep job's stealing pool.
+    pub sweep_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        ServeConfig { workers: 2, queue: 64, sweep_threads: cpus }
+    }
+}
+
+/// One queued job: a parsed request plus where its reply goes.
+struct Job {
+    req: Request,
+    reply: mpsc::Sender<String>,
+}
+
+/// Bounded MPMC queue: reject-on-full admission, blocking removal.
+struct BoundedQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    cap: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl BoundedQueue {
+    fn new(cap: usize) -> BoundedQueue {
+        BoundedQueue {
+            state: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admit a job, or reject it immediately when the queue is full —
+    /// the backpressure contract: the caller replies `overloaded` and the
+    /// server's memory use stays bounded no matter how fast clients push.
+    fn push(&self, job: Job) -> Result<(), Job> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if st.jobs.len() >= self.cap {
+            return Err(job);
+        }
+        st.jobs.push_back(job);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking removal; `None` once closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.closed = true;
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).jobs.len()
+    }
+}
+
+/// Shared evaluation state: one artifact cache per trip-count scale.
+struct Engine {
+    sweep_threads: usize,
+    caches: Mutex<HashMap<u64, Arc<ArtifactCache>>>,
+}
+
+impl Engine {
+    fn cache_for(&self, scale: f64) -> Arc<ArtifactCache> {
+        let mut m = self.caches.lock().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(m.entry(scale.to_bits()).or_insert_with(|| Arc::new(ArtifactCache::new())))
+    }
+}
+
+/// The server: worker pool + bounded queue. Front ends ([`serve_lines`],
+/// [`serve_tcp`]) feed it request lines and forward its replies.
+pub struct Server {
+    queue: Arc<BoundedQueue>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    pub fn start(cfg: &ServeConfig) -> Server {
+        let queue = Arc::new(BoundedQueue::new(cfg.queue));
+        let engine = Arc::new(Engine {
+            sweep_threads: cfg.sweep_threads.max(1),
+            caches: Mutex::new(HashMap::new()),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    while let Some(job) = queue.pop() {
+                        let line = handle_job(&engine, &job.req);
+                        // A gone receiver means the client hung up; drop
+                        // the reply and keep serving.
+                        let _ = job.reply.send(line);
+                    }
+                })
+            })
+            .collect();
+        Server { queue, workers }
+    }
+
+    /// Handle one raw request line: parse, admit, or reply immediately
+    /// with a typed error. Replies (including the typed rejections
+    /// produced here) arrive on `reply`.
+    pub fn submit_line(&self, line: &str, reply: &mpsc::Sender<String>) {
+        let line = line.trim();
+        if line.is_empty() {
+            return;
+        }
+        let parsed = match parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = reply.send(err_reply(
+                    &Json::Null,
+                    ErrorKind::BadRequest,
+                    &format!("invalid JSON: {e}"),
+                ));
+                return;
+            }
+        };
+        let req = match parse_request(&parsed) {
+            Ok(r) => r,
+            Err((kind, detail)) => {
+                let id = parsed.get("id").cloned().unwrap_or(Json::Null);
+                let _ = reply.send(err_reply(&id, kind, &detail));
+                return;
+            }
+        };
+        if let Err(job) = self.queue.push(Job { req, reply: reply.clone() }) {
+            let _ = job.reply.send(err_reply(
+                &job.req.id,
+                ErrorKind::Overloaded,
+                &format!("queue full ({} jobs); retry later", self.queue.len()),
+            ));
+        }
+    }
+
+    /// Close admission and wait for queued jobs to finish.
+    pub fn shutdown(self) {
+        self.queue.close();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Execute one job with panic containment: a crash in a handler becomes a
+/// typed `internal` reply, never a dead worker or a dead process.
+fn handle_job(engine: &Engine, req: &Request) -> String {
+    match catch_unwind(AssertUnwindSafe(|| handle_op(engine, &req.op))) {
+        Ok(Ok(result)) => ok_reply(&req.id, result),
+        Ok(Err((kind, detail))) => err_reply(&req.id, kind, &detail),
+        Err(payload) => err_reply(
+            &req.id,
+            ErrorKind::Internal,
+            &format!("handler panicked (contained): {}", ilpc_guard::panic_message(payload)),
+        ),
+    }
+}
+
+fn handle_op(engine: &Engine, op: &Op) -> Result<Json, (ErrorKind, String)> {
+    match op {
+        Op::Compile { workload, level, width, scale } => {
+            let w = find_workload(workload, *scale)?;
+            let machine = Machine::issue(*width);
+            let g = ilpc_harness::compile_guarded(
+                &w,
+                *level,
+                &machine,
+                GuardConfig::default(),
+                None,
+            );
+            // Per-request incident reporting: every contained firewall
+            // incident rides the reply as a typed record.
+            let incidents: Vec<Json> = g
+                .guard
+                .records()
+                .into_iter()
+                .map(|r| {
+                    obj([
+                        ("step", Json::num(r.step as f64)),
+                        ("pass", Json::str(r.pass)),
+                        ("kind", Json::str(r.kind)),
+                        ("detail", Json::str(r.detail)),
+                    ])
+                })
+                .collect();
+            Ok(obj([
+                ("workload", Json::str(workload.as_str())),
+                ("level", Json::str(level.name())),
+                ("width", Json::num(*width)),
+                ("static_insts", Json::num(g.compiled.static_insts as f64)),
+                ("regs", Json::num(g.compiled.regs.total())),
+                (
+                    "achieved",
+                    g.guard
+                        .achieved
+                        .map(|l| Json::str(l.name()))
+                        .unwrap_or(Json::Null),
+                ),
+                ("clean", Json::Bool(g.guard.clean())),
+                ("incidents", Json::Arr(incidents)),
+            ]))
+        }
+        Op::Simulate { workload, level, width, scale, mem } => {
+            let w = find_workload(workload, *scale)?;
+            let machine = Machine::issue(*width).with_mem(*mem);
+            let cache = engine.cache_for(*scale);
+            let p = cache
+                .evaluate(&w, *level, &machine)
+                .map_err(|e| (ErrorKind::EvalFailed, e))?;
+            Ok(obj([
+                ("workload", Json::str(workload.as_str())),
+                ("level", Json::str(level.name())),
+                ("width", Json::num(*width)),
+                ("cycles", Json::num(p.cycles as f64)),
+                ("dyn_insts", Json::num(p.dyn_insts as f64)),
+                ("static_insts", Json::num(p.static_insts as f64)),
+                ("regs", Json::num(p.regs.total())),
+                (
+                    "mem",
+                    obj([
+                        ("accesses", Json::num(p.mem.accesses() as f64)),
+                        ("hits", Json::num(p.mem.hits() as f64)),
+                        ("misses", Json::num(p.mem.misses() as f64)),
+                    ]),
+                ),
+            ]))
+        }
+        Op::Sweep { scale, levels, widths, mems, sabotage } => {
+            let cfg = SweepConfig {
+                scale: *scale,
+                levels: levels.clone(),
+                widths: widths.clone(),
+                threads: engine.sweep_threads,
+                scenarios: mems.iter().copied().map(Scenario::mem).collect(),
+                sabotage: sabotage.clone(),
+                artifacts: Some(engine.cache_for(*scale)),
+            };
+            let sweep =
+                run_sweep(&cfg).map_err(|e| (ErrorKind::BadConfig, e.to_string()))?;
+            let scenarios: Vec<Json> = sweep
+                .scenarios
+                .iter()
+                .zip(&sweep.grids)
+                .map(|(s, g)| {
+                    let all = || g.meta.iter().map(|m| m.name);
+                    let top = *g.levels.last().unwrap();
+                    let wide = *g.widths.iter().max().unwrap();
+                    let mean = g.mean_speedup(all(), top, wide);
+                    let errors: Vec<Json> = g
+                        .errors
+                        .iter()
+                        .map(|e| {
+                            let kind = match &e.error {
+                                PointError::Eval(_) => "eval",
+                                PointError::Panic(_) => "panic",
+                            };
+                            obj([
+                                ("workload", Json::str(e.workload.as_str())),
+                                ("level", Json::str(e.level.name())),
+                                ("width", Json::num(e.width)),
+                                ("kind", Json::str(kind)),
+                                ("detail", Json::str(e.error.to_string())),
+                            ])
+                        })
+                        .collect();
+                    obj([
+                        ("label", Json::str(s.label.as_str())),
+                        ("completed", Json::num(g.completed() as f64)),
+                        ("errors", Json::Arr(errors)),
+                        (
+                            "mean_speedup",
+                            obj([
+                                (
+                                    "value",
+                                    mean.partial().map(Json::Num).unwrap_or(Json::Null),
+                                ),
+                                ("level", Json::str(top.name())),
+                                ("width", Json::num(wide)),
+                                ("covered", Json::num(mean.covered() as f64)),
+                                ("requested", Json::num(mean.requested() as f64)),
+                            ]),
+                        ),
+                    ])
+                })
+                .collect();
+            Ok(obj([
+                ("scenarios", Json::Arr(scenarios)),
+                (
+                    "cache",
+                    obj([
+                        ("compiles", Json::num(sweep.cache.compiles as f64)),
+                        ("hits", Json::num(sweep.cache.hits as f64)),
+                    ]),
+                ),
+                (
+                    "steals",
+                    obj([
+                        ("steals", Json::num(sweep.steals.steals as f64)),
+                        ("stolen_items", Json::num(sweep.steals.stolen_items as f64)),
+                    ]),
+                ),
+            ]))
+        }
+        Op::Batch(reqs) => {
+            // One job, several requests: replies in submission order,
+            // each with its own id and ok/error envelope.
+            let replies: Vec<Json> = reqs
+                .iter()
+                .map(|r| {
+                    let line = match catch_unwind(AssertUnwindSafe(|| handle_op(engine, &r.op)))
+                    {
+                        Ok(Ok(result)) => ok_reply(&r.id, result),
+                        Ok(Err((kind, detail))) => err_reply(&r.id, kind, &detail),
+                        Err(p) => err_reply(
+                            &r.id,
+                            ErrorKind::Internal,
+                            &format!(
+                                "handler panicked (contained): {}",
+                                ilpc_guard::panic_message(p)
+                            ),
+                        ),
+                    };
+                    parse(&line).expect("replies are valid JSON")
+                })
+                .collect();
+            Ok(obj([("replies", Json::Arr(replies))]))
+        }
+    }
+}
+
+fn find_workload(name: &str, scale: f64) -> Result<Workload, (ErrorKind, String)> {
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err((ErrorKind::BadConfig, format!("scale {scale} must be finite and > 0")));
+    }
+    table2()
+        .into_iter()
+        .find(|m| m.name == name)
+        .map(|m| build(&m, scale))
+        .ok_or_else(|| {
+            (ErrorKind::BadConfig, format!("unknown workload {name:?} (see Table 2)"))
+        })
+}
+
+/// Read one line with the [`MAX_LINE_BYTES`] cap. Returns `Ok(None)` at
+/// EOF, `Ok(Some((line, true)))` for an in-budget line and
+/// `Ok(Some(("", false)))` when the line was oversized — its remainder is
+/// drained in bounded chunks and discarded, so a hostile multi-gigabyte
+/// line costs O(chunk) memory, never an allocation proportional to it.
+fn read_line_capped(r: &mut impl BufRead) -> std::io::Result<Option<(String, bool)>> {
+    use std::io::Read;
+    let mut buf: Vec<u8> = Vec::new();
+    let n = r.by_ref().take(MAX_LINE_BYTES as u64 + 1).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.len() > MAX_LINE_BYTES && !buf.ends_with(b"\n") {
+        // Drain to the newline in fixed-size bites; `read_until` through
+        // a `take` stops exactly at the newline, never consuming the
+        // start of the next line.
+        loop {
+            let mut junk: Vec<u8> = Vec::new();
+            let k = r.by_ref().take(8192).read_until(b'\n', &mut junk)?;
+            if k == 0 || junk.ends_with(b"\n") {
+                break;
+            }
+        }
+        return Ok(Some((String::new(), false)));
+    }
+    Ok(Some((String::from_utf8_lossy(&buf).into_owned(), true)))
+}
+
+/// Serve JSON-lines over arbitrary reader/writer streams (the stdin mode
+/// of the binary, and directly testable). Replies are written as they
+/// complete; at EOF the queue is drained before returning.
+pub fn serve_lines(
+    cfg: &ServeConfig,
+    input: &mut impl BufRead,
+    output: &mut impl Write,
+) -> std::io::Result<()> {
+    let server = Server::start(cfg);
+    let (tx, rx) = mpsc::channel::<String>();
+
+    loop {
+        // Forward any completed replies without blocking the read loop.
+        while let Ok(line) = rx.try_recv() {
+            writeln!(output, "{line}")?;
+            output.flush()?;
+        }
+        match read_line_capped(input)? {
+            None => break,
+            Some((_, false)) => {
+                let _ = tx.send(err_reply(
+                    &Json::Null,
+                    ErrorKind::BadRequest,
+                    &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                ));
+            }
+            Some((line, true)) => server.submit_line(&line, &tx),
+        }
+    }
+
+    // EOF: finish queued work, then flush every remaining reply.
+    server.shutdown();
+    drop(tx);
+    for line in rx {
+        writeln!(output, "{line}")?;
+    }
+    output.flush()
+}
+
+/// Serve JSON-lines over TCP: one reader thread and one writer channel per
+/// connection, all feeding the shared bounded queue. Returns the bound
+/// address; serving continues on background threads for `conn_limit`
+/// connections (`None` = forever — the binary's mode).
+pub fn serve_tcp(
+    cfg: &ServeConfig,
+    addr: &str,
+    conn_limit: Option<usize>,
+) -> std::io::Result<(std::net::SocketAddr, std::thread::JoinHandle<()>)> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let cfg = cfg.clone();
+    let accept_loop = std::thread::spawn(move || {
+        let server = Arc::new(Server::start(&cfg));
+        let mut handles = Vec::new();
+        let mut accepted = 0usize;
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            accepted += 1;
+            let server = Arc::clone(&server);
+            handles.push(std::thread::spawn(move || {
+                let _ = serve_connection(&server, stream);
+            }));
+            if conn_limit.is_some_and(|n| accepted >= n) {
+                break;
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    });
+    Ok((local, accept_loop))
+}
+
+/// One TCP connection: requests in, replies out, isolation by channel —
+/// a reply can only ever reach the connection whose request produced it.
+fn serve_connection(server: &Server, stream: std::net::TcpStream) -> std::io::Result<()> {
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer_thread = std::thread::spawn(move || -> std::io::Result<()> {
+        for line in rx {
+            writeln!(writer, "{line}")?;
+            writer.flush()?;
+        }
+        Ok(())
+    });
+    loop {
+        match read_line_capped(&mut reader)? {
+            None => break,
+            Some((_, false)) => {
+                let _ = tx.send(err_reply(
+                    &Json::Null,
+                    ErrorKind::BadRequest,
+                    &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                ));
+            }
+            Some((line, true)) => server.submit_line(&line, &tx),
+        }
+    }
+    drop(tx);
+    let _ = writer_thread.join();
+    Ok(())
+}
+
+/// Convenience for tests: run one batch of lines through a fresh server
+/// and return every reply line.
+pub fn serve_script(cfg: &ServeConfig, script: &str) -> Vec<String> {
+    let mut out: Vec<u8> = Vec::new();
+    let mut input = std::io::Cursor::new(script.as_bytes());
+    serve_lines(cfg, &mut input, &mut out).expect("in-memory serving cannot fail");
+    String::from_utf8(out).unwrap().lines().map(str::to_string).collect()
+}

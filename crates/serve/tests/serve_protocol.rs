@@ -1,0 +1,251 @@
+//! System tests for `ilpc-serve`: the service must answer every input —
+//! well-formed, malformed, hostile or overloading — with a typed JSON
+//! reply, and must never die or cross-deliver between clients.
+
+use ilpc_serve::{parse, serve_script, serve_tcp, Json, ServeConfig};
+use std::io::{BufRead, BufReader, Write};
+
+fn cfg_small() -> ServeConfig {
+    ServeConfig { workers: 2, queue: 8, sweep_threads: 4 }
+}
+
+/// Reply lines all parse, and each maps id → (ok, payload).
+fn index_replies(lines: &[String]) -> Vec<(Json, bool, Json)> {
+    lines
+        .iter()
+        .map(|l| {
+            let v = parse(l).unwrap_or_else(|e| panic!("unparseable reply {l:?}: {e}"));
+            let id = v.get("id").cloned().unwrap_or(Json::Null);
+            let ok = v.get("ok") == Some(&Json::Bool(true));
+            let payload = if ok {
+                v.get("result").cloned().unwrap()
+            } else {
+                v.get("error").cloned().unwrap()
+            };
+            (id, ok, payload)
+        })
+        .collect()
+}
+
+fn error_kind(payload: &Json) -> String {
+    payload.get("kind").and_then(Json::as_str).unwrap_or("<none>").to_string()
+}
+
+/// Malformed JSON, malformed requests and unknown names produce typed
+/// error replies — and the server keeps serving afterwards.
+#[test]
+fn malformed_input_yields_typed_errors_not_a_crash() {
+    let script = [
+        "not json at all",
+        r#"{"id":1,"op":"warp"}"#,
+        r#"{"id":2,"op":"compile","workload":"no-such-loop","level":"Lev2","width":8}"#,
+        r#"{"id":3,"op":"compile","workload":"add","level":"Lev2","width":8,"scale":-1}"#,
+        r#"{"id":4,"op":"sweep","scale":0.02,"widths":[8]}"#,
+        r#"{"id":5,"op":"compile","workload":"add","level":"Conv","width":1,"scale":0.02}"#,
+    ]
+    .join("\n");
+    let replies = index_replies(&serve_script(&cfg_small(), &script));
+    assert_eq!(replies.len(), 6);
+
+    let by_id = |want: &Json| {
+        replies
+            .iter()
+            .find(|(id, _, _)| id == want)
+            .unwrap_or_else(|| panic!("no reply for id {want:?}"))
+    };
+    let (_, ok, e) = by_id(&Json::Null);
+    assert!(!ok);
+    assert_eq!(error_kind(e), "bad-request");
+    assert_eq!(error_kind(&by_id(&Json::Num(1.0)).2), "bad-request");
+    assert_eq!(error_kind(&by_id(&Json::Num(2.0)).2), "bad-config");
+    assert_eq!(error_kind(&by_id(&Json::Num(3.0)).2), "bad-config");
+    // Sweep axes are validated by the grid's typed validation (missing
+    // base width 1).
+    let (_, ok, e) = by_id(&Json::Num(4.0));
+    assert!(!ok);
+    assert_eq!(error_kind(e), "bad-config");
+    assert!(e.get("detail").and_then(Json::as_str).unwrap().contains("base width"));
+    // The request *after* all the garbage still succeeds: nothing died.
+    let (_, ok, r) = by_id(&Json::Num(5.0));
+    assert!(ok, "{r:?}");
+    assert_eq!(r.get("achieved").and_then(Json::as_str), Some("Conv"));
+}
+
+/// An oversized request line is rejected with a typed error and bounded
+/// memory; the next line is served normally.
+#[test]
+fn oversized_line_is_rejected_and_stream_continues() {
+    let huge = format!("{{\"id\":9,\"junk\":\"{}\"}}", "x".repeat(2 * 1024 * 1024));
+    let script = format!(
+        "{huge}\n{}",
+        r#"{"id":10,"op":"compile","workload":"add","level":"Conv","width":1,"scale":0.02}"#
+    );
+    let replies = index_replies(&serve_script(&cfg_small(), &script));
+    assert_eq!(replies.len(), 2);
+    let (id, ok, e) = &replies.iter().find(|(_, ok, _)| !ok).unwrap();
+    assert_eq!(*id, Json::Null);
+    assert!(!ok);
+    assert_eq!(error_kind(e), "bad-request");
+    assert!(e.get("detail").and_then(Json::as_str).unwrap().contains("exceeds"));
+    let (_, ok, _) = replies.iter().find(|(id, _, _)| *id == Json::Num(10.0)).unwrap();
+    assert!(ok, "the line after the oversized one must still be served");
+}
+
+/// Filling the bounded queue yields `overloaded` backpressure replies —
+/// admission is rejected, nothing buffers without bound, nothing dies.
+#[test]
+fn queue_overflow_produces_backpressure_replies() {
+    // One worker, one queue slot. The first job is a slow sweep that
+    // occupies the worker, so the flood behind it must overflow.
+    let cfg = ServeConfig { workers: 1, queue: 1, sweep_threads: 2 };
+    let slow =
+        r#"{"id":"slow","op":"sweep","scale":0.02,"levels":["Conv","Lev2"],"widths":[1,8]}"#;
+    let fast =
+        r#"{"id":"fastN","op":"compile","workload":"add","level":"Conv","width":1,"scale":0.02}"#;
+    let mut script = vec![slow.to_string()];
+    for k in 0..4 {
+        script.push(fast.replace("fastN", &format!("fast{k}")));
+    }
+    let replies = index_replies(&serve_script(&cfg, &script.join("\n")));
+    assert_eq!(replies.len(), 5, "every request gets exactly one reply");
+
+    let (_, ok, r) = replies.iter().find(|(id, _, _)| *id == Json::str("slow")).unwrap();
+    assert!(ok, "the admitted sweep must complete: {r:?}");
+    let overloaded: Vec<_> = replies
+        .iter()
+        .filter(|(_, ok, e)| !ok && error_kind(e) == "overloaded")
+        .collect();
+    let served = replies.iter().filter(|(_, ok, _)| *ok).count();
+    // The worker is busy with the sweep, so at most one follower fits the
+    // queue slot; at least three of four must be rejected with the typed
+    // backpressure error.
+    assert!(overloaded.len() >= 3, "got {} overloaded replies", overloaded.len());
+    assert_eq!(served + overloaded.len(), 5);
+    for (_, _, e) in &overloaded {
+        assert!(e.get("detail").and_then(Json::as_str).unwrap().contains("queue full"));
+    }
+}
+
+/// A sabotaged point inside a served sweep degrades that request only:
+/// typed per-point errors in the reply, coverage visibly partial, and the
+/// server healthy for the next request.
+#[test]
+fn sabotaged_sweep_degrades_per_request() {
+    let script = [
+        r#"{"id":"s","op":"sweep","scale":0.02,"levels":["Conv","Lev2"],"widths":[1,8],
+            "mems":[{"kind":"perfect"},{"kind":"cache","sets":8}],
+            "sabotage":{"workload":"dotprod","level":"Lev2","width":8,"mode":"panic"}}"#
+            .replace('\n', " "),
+        r#"{"id":"after","op":"simulate","workload":"dotprod","level":"Lev2","width":8,"scale":0.02}"#
+            .to_string(),
+    ]
+    .join("\n");
+    let replies = index_replies(&serve_script(&cfg_small(), &script));
+    assert_eq!(replies.len(), 2);
+
+    let (_, ok, r) = replies.iter().find(|(id, _, _)| *id == Json::str("s")).unwrap();
+    assert!(ok, "a sweep with a broken point still replies ok: {r:?}");
+    let scenarios = r.get("scenarios").and_then(Json::as_arr).unwrap();
+    assert_eq!(scenarios.len(), 2);
+    for s in scenarios {
+        let errors = s.get("errors").and_then(Json::as_arr).unwrap();
+        assert_eq!(errors.len(), 1, "{s:?}");
+        assert_eq!(errors[0].get("workload").and_then(Json::as_str), Some("dotprod"));
+        assert_eq!(errors[0].get("kind").and_then(Json::as_str), Some("panic"));
+        assert_eq!(s.get("completed").and_then(Json::as_u64), Some(40 * 2 * 2 - 1));
+        // Aggregate coverage carries the hole: 39/40 at (Lev2, 8).
+        let mean = s.get("mean_speedup").unwrap();
+        assert_eq!(mean.get("covered").and_then(Json::as_u64), Some(39));
+        assert_eq!(mean.get("requested").and_then(Json::as_u64), Some(40));
+    }
+    // The very point that was sabotaged in the sweep works fine in the
+    // next request — the degradation was strictly per-request.
+    let (_, ok, r) = replies.iter().find(|(id, _, _)| *id == Json::str("after")).unwrap();
+    assert!(ok, "{r:?}");
+    assert!(r.get("cycles").and_then(Json::as_u64).unwrap() > 0);
+}
+
+/// Batch: one line in, one line out, per-request envelopes inside —
+/// including a failing request that doesn't poison its siblings.
+#[test]
+fn batch_requests_reply_in_order_with_isolated_failures() {
+    let script = r#"{"id":"b","op":"batch","requests":[
+        {"id":"b1","op":"compile","workload":"add","level":"Conv","width":1,"scale":0.02},
+        {"id":"b2","op":"compile","workload":"no-such","level":"Conv","width":1},
+        {"id":"b3","op":"simulate","workload":"add","level":"Lev2","width":8,"scale":0.02}]}"#
+        .replace('\n', " ");
+    let replies = index_replies(&serve_script(&cfg_small(), &script));
+    assert_eq!(replies.len(), 1);
+    let (id, ok, r) = &replies[0];
+    assert_eq!(*id, Json::str("b"));
+    assert!(ok);
+    let inner = r.get("replies").and_then(Json::as_arr).unwrap();
+    assert_eq!(inner.len(), 3);
+    assert_eq!(inner[0].get("id"), Some(&Json::str("b1")));
+    assert_eq!(inner[0].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(inner[1].get("id"), Some(&Json::str("b2")));
+    assert_eq!(inner[1].get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        inner[1].get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("bad-config")
+    );
+    assert_eq!(inner[2].get("id"), Some(&Json::str("b3")));
+    assert_eq!(inner[2].get("ok"), Some(&Json::Bool(true)));
+}
+
+/// Two concurrent TCP clients with interleaved traffic: each receives
+/// exactly the replies to its own requests.
+#[test]
+fn concurrent_tcp_clients_are_isolated() {
+    let cfg = ServeConfig { workers: 2, queue: 16, sweep_threads: 2 };
+    let (addr, accept_loop) = serve_tcp(&cfg, "127.0.0.1:0", Some(2)).unwrap();
+
+    let client = |tag: &'static str, n: usize| {
+        std::thread::spawn(move || -> Vec<(Json, bool, Json)> {
+            let stream = std::net::TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            for k in 0..n {
+                writeln!(
+                    writer,
+                    r#"{{"id":"{tag}-{k}","op":"simulate","workload":"add","level":"Lev2","width":8,"scale":0.02}}"#
+                )
+                .unwrap();
+            }
+            writer.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut lines = Vec::new();
+            let mut line = String::new();
+            while reader.read_line(&mut line).unwrap() > 0 {
+                lines.push(line.trim().to_string());
+                line.clear();
+                if lines.len() == n {
+                    break;
+                }
+            }
+            index_replies(&lines)
+        })
+    };
+
+    let a = client("alpha", 5);
+    let b = client("beta", 5);
+    let got_a = a.join().unwrap();
+    let got_b = b.join().unwrap();
+
+    for (tag, got) in [("alpha", got_a), ("beta", got_b)] {
+        assert_eq!(got.len(), 5, "{tag}");
+        for (k, (id, ok, r)) in got.iter().enumerate() {
+            // Replies may arrive out of submission order (ids pair them),
+            // but every id must belong to THIS client.
+            let id = id.as_str().unwrap();
+            assert!(id.starts_with(tag), "{tag} received foreign reply {id}");
+            assert!(ok, "{tag} request {k}: {r:?}");
+            assert!(r.get("cycles").and_then(Json::as_u64).unwrap() > 0);
+        }
+        // All five distinct ids came back.
+        let mut ids: Vec<&str> = got.iter().map(|(id, _, _)| id.as_str().unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 5, "{tag}");
+    }
+    accept_loop.join().unwrap();
+}

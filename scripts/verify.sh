@@ -60,4 +60,29 @@ echo "== fault-injection campaign smoke =="
 # (wrong architectural results with nothing flagged).
 cargo run --release --offline -p ilpc-harness --bin fault-campaign -- --quick --seed 7
 
+echo "== ilpc-serve smoke (JSON-lines over stdin) =="
+# The evaluation service end-to-end: three requests — a simulate, a
+# malformed line, and a compile — piped through the built binary. Every
+# line must come back as a typed reply (the bad one as kind=bad-request)
+# and the process must exit cleanly at EOF.
+serve_replies=$(mktemp)
+printf '%s\n' \
+  '{"id":1,"op":"simulate","workload":"dotprod","level":"Lev4","width":8,"scale":0.02}' \
+  'this is not json' \
+  '{"id":3,"op":"compile","workload":"add","level":"Lev2","width":4,"scale":0.02}' \
+  | ./target/release/ilpc-serve --workers 2 --queue 8 > "$serve_replies"
+python3 - "$serve_replies" <<'EOF'
+import json, sys
+replies = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert len(replies) == 3, f"expected 3 replies, got {len(replies)}"
+by_id = {r["id"]: r for r in replies}
+assert by_id[1]["ok"] and by_id[1]["result"]["cycles"] > 0, by_id[1]
+assert not by_id[None]["ok"], by_id[None]
+assert by_id[None]["error"]["kind"] == "bad-request", by_id[None]
+assert by_id[3]["ok"] and by_id[3]["result"]["achieved"] == "Lev2", by_id[3]
+print(f"ok: 3 typed replies (simulate cycles={by_id[1]['result']['cycles']}, "
+      f"bad line rejected, compile achieved={by_id[3]['result']['achieved']})")
+EOF
+rm -f "$serve_replies"
+
 echo "verify: OK"

@@ -44,8 +44,12 @@ pub mod prelude {
     pub use ilpc_guard::{Guard, GuardConfig, GuardErrorKind, GuardReport, Oracle};
     pub use ilpc_harness::campaign::{run_campaign, CampaignConfig, Outcome};
     pub use ilpc_harness::compile::{compile, compile_guarded};
-    pub use ilpc_harness::grid::{run_grid, GridConfig, Sabotage, SabotageMode};
+    pub use ilpc_harness::grid::{
+        run_grid, run_grid_forkjoin, Aggregate, GridConfig, GridConfigError, Sabotage,
+        SabotageMode,
+    };
     pub use ilpc_harness::run::{evaluate, EvalPoint};
+    pub use ilpc_harness::sweep::{run_sweep, Scenario, Sweep, SweepConfig};
     pub use ilpc_ir::ast::{Bound, Expr, Index, Program, Stmt};
     pub use ilpc_ir::interp::{interpret, DataInit};
     pub use ilpc_ir::lower::lower;

@@ -73,7 +73,7 @@ fn full_grid_survives_a_faulted_point() {
         }),
         ..GridConfig::default()
     };
-    let grid = run_grid(&cfg);
+    let grid = run_grid(&cfg).expect("grid config rejected");
     assert_eq!(grid.meta.len(), 40);
 
     // Exactly one typed failure, at the sabotaged coordinates.
@@ -98,10 +98,22 @@ fn full_grid_survives_a_faulted_point() {
     assert_eq!(present, 40 * 5 * 3 - 1);
     assert!(grid.point("dotprod", Level::Lev3, 4).is_none());
 
-    // Aggregations skip the hole instead of panicking.
+    // Aggregations see the hole instead of passing for complete: the
+    // sabotaged point punches a visible 39/40 coverage hole in the
+    // all-loops mean at exactly (Lev3, issue-4).
+    let names: Vec<&str> = grid.meta.iter().map(|m| m.name).collect();
+    let agg = grid.mean_speedup(names.iter().copied(), Level::Lev3, 4);
+    assert_eq!(agg.requested(), names.len());
+    assert_eq!(agg.covered(), names.len() - 1);
+    assert!(!agg.is_complete());
+    assert_eq!(agg.complete(), None);
+    assert!(agg.partial().unwrap() > 1.0);
+    // Any other coordinate is untouched and aggregates completely — as
+    // does the DOALL subset, which the Serial dotprod never belonged to.
+    assert!(grid.mean_speedup(names.iter().copied(), Level::Lev3, 8).is_complete());
     let doall: Vec<&str> =
         grid.meta.iter().filter(|m| m.ltype.is_doall()).map(|m| m.name).collect();
-    assert!(grid.mean_speedup(doall.iter().copied(), Level::Lev3, 4) > 0.0);
+    assert!(grid.mean_speedup(doall.iter().copied(), Level::Lev3, 4).is_complete());
 }
 
 /// A seeded campaign across all fault classes: deterministic and free of

@@ -16,7 +16,7 @@ fn grid() -> Grid {
         threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
         ..GridConfig::default()
     };
-    let g = run_grid(&cfg);
+    let g = run_grid(&cfg).expect("grid config rejected");
     assert!(g.errors.is_empty(), "{:#?}", g.errors);
     g
 }
@@ -28,6 +28,8 @@ fn mean<'a>(
     width: u32,
 ) -> f64 {
     g.mean_speedup(names, level, width)
+        .complete()
+        .expect("clean grid must aggregate completely")
 }
 
 #[test]
@@ -93,7 +95,7 @@ fn paper_findings_hold() {
     //    renaming" — the Lev1 -> Lev2 jump dominates all others.
     let regs: Vec<f64> = Level::ALL
         .iter()
-        .map(|&l| g.mean_regs(all(), l, 8))
+        .map(|&l| g.mean_regs(all(), l, 8).complete().expect("complete grid"))
         .collect();
     let jumps: Vec<f64> = regs.windows(2).map(|w| w[1] - w[0]).collect();
     let lev2_jump = jumps[1];
