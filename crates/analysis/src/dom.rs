@@ -16,9 +16,14 @@ pub struct Dominators {
 }
 
 impl Dominators {
-    /// Compute dominators of `f` from its entry block.
+    /// Compute dominators of `f` from its entry block. A function with an
+    /// empty layout has no entry: every block is unreachable and nothing
+    /// dominates anything.
     pub fn compute(f: &Function) -> Dominators {
         let n = f.num_blocks();
+        if f.layout_order().is_empty() {
+            return Dominators { doms: vec![vec![false; n]; n], reachable: vec![false; n] };
+        }
         let entry = f.entry();
 
         // Reachability (blocks outside the layout or unreachable don't get

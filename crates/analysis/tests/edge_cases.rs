@@ -1,0 +1,183 @@
+//! Degenerate-CFG edge cases for the analysis layer: the dataflow and
+//! structure analyses must stay total (no panics, sensible answers) on
+//! the shapes real pass pipelines produce in their corners — empty
+//! functions, single-block bodies, self-loops, and unreachable layout
+//! blocks. `ilpc-lint` runs these analyses on every artifact it audits,
+//! so totality here is what keeps the linter itself crash-free.
+
+use ilpc_analysis::{as_counted_loop, Dominators, Liveness, LoopForest, RegSet};
+use ilpc_ir::inst::Inst;
+use ilpc_ir::{BlockId, Cond, Module, Opcode, Operand, RegClass};
+
+#[test]
+fn empty_function_analyses_are_total() {
+    let m = Module::new("empty");
+    let f = &m.func;
+    assert!(f.layout_order().is_empty());
+
+    let live = Liveness::compute(f);
+    let _ = live; // no blocks to query, but compute must not panic
+
+    let dom = Dominators::compute(f);
+    let _ = dom;
+
+    let forest = LoopForest::compute(f);
+    assert!(forest.loops.is_empty());
+    assert!(forest.inner_loops().is_empty());
+}
+
+#[test]
+fn single_block_function_has_trivial_structure() {
+    let mut m = Module::new("single");
+    let b = m.func.add_block("entry");
+    let r = m.func.new_reg(RegClass::Int);
+    m.func
+        .block_mut(b)
+        .insts
+        .extend([Inst::mov(r, Operand::ImmI(7)), Inst::halt()]);
+
+    let dom = Dominators::compute(&m.func);
+    assert!(dom.is_reachable(b));
+    assert!(dom.dominates(b, b), "a block dominates itself");
+
+    let live = Liveness::compute(&m.func);
+    assert!(live.live_in(b).is_empty(), "nothing is live into a closed block");
+    assert!(live.live_out(b).is_empty());
+
+    let forest = LoopForest::compute(&m.func);
+    assert!(forest.loops.is_empty(), "no back edge, no loop");
+}
+
+/// A single-block self-loop: the block is simultaneously header and
+/// latch, and the counted-loop canonicalizer must still recognize it.
+#[test]
+fn self_loop_is_its_own_header_and_latch() {
+    let mut m = Module::new("selfloop");
+    let entry = m.func.add_block("entry");
+    let body = m.func.add_block("body");
+    let exit = m.func.add_block("exit");
+    let i = m.func.new_reg(RegClass::Int);
+    m.func.block_mut(entry).insts.push(Inst::mov(i, Operand::ImmI(0)));
+    m.func.block_mut(body).insts.extend([
+        Inst::alu(Opcode::Add, i, i.into(), Operand::ImmI(1)),
+        Inst::br(Cond::Lt, i.into(), Operand::ImmI(4), body),
+    ]);
+    m.func.block_mut(exit).insts.push(Inst::halt());
+
+    let forest = LoopForest::compute(&m.func);
+    let inner = forest.inner_loops();
+    assert_eq!(inner.len(), 1);
+    let lp = inner[0];
+    assert_eq!(lp.header, body);
+    assert_eq!(lp.latch, body);
+    assert_eq!(lp.blocks, vec![body]);
+
+    let cl = as_counted_loop(&m.func, lp).expect("canonical counted self-loop");
+    assert_eq!(cl.iv, i);
+    assert_eq!(cl.step, 1);
+    assert_eq!(cl.exit, exit);
+
+    // The induction variable is live around the back edge.
+    let live = Liveness::compute(&m.func);
+    assert!(live.live_in(body).contains(i));
+}
+
+/// Unreachable layout blocks: reachability reports them, dominance holds
+/// vacuously from every reachable block, liveness ignores paths through
+/// them, and the loop forest does not invent loops from their back edges.
+#[test]
+fn unreachable_blocks_do_not_poison_the_analyses() {
+    let mut m = Module::new("orphaned");
+    let entry = m.func.add_block("entry");
+    let exit = m.func.add_block("exit");
+    let orphan = m.func.add_block("orphan");
+    let r = m.func.new_reg(RegClass::Int);
+    m.func.block_mut(entry).insts.extend([
+        Inst::mov(r, Operand::ImmI(1)),
+        Inst::jump(exit),
+    ]);
+    m.func.block_mut(exit).insts.push(Inst::halt());
+    // The orphan self-loops, which must not register as a function loop.
+    m.func
+        .block_mut(orphan)
+        .insts
+        .push(Inst::br(Cond::Lt, r.into(), Operand::ImmI(9), orphan));
+
+    let dom = Dominators::compute(&m.func);
+    assert!(dom.is_reachable(entry));
+    assert!(dom.is_reachable(exit));
+    assert!(!dom.is_reachable(orphan));
+    assert!(dom.dominates(entry, exit));
+
+    let forest = LoopForest::compute(&m.func);
+    assert!(
+        forest.loops.iter().all(|l| l.header != orphan),
+        "a back edge in unreachable code is not a loop: {:?}",
+        forest.loops
+    );
+
+    // `r` is read only by the orphan, so no reachable block keeps it live.
+    let live = Liveness::compute(&m.func);
+    assert!(!live.live_out(entry).contains(r));
+}
+
+/// RegSet honors class separation and set algebra on the boundary ids a
+/// function actually allocates.
+#[test]
+fn regset_separates_classes_at_equal_ids() {
+    let mut m = Module::new("classes");
+    let _ = m.func.add_block("entry");
+    let i0 = m.func.new_reg(RegClass::Int);
+    let f0 = m.func.new_reg(RegClass::Flt);
+    assert_eq!(i0.id, f0.id, "both counters start at zero");
+
+    let mut s = RegSet::new();
+    s.insert(i0);
+    assert!(s.contains(i0));
+    assert!(!s.contains(f0), "same id, different class, different member");
+    s.insert(f0);
+    assert_eq!(s.len(), 2);
+    s.remove(i0);
+    assert!(!s.contains(i0));
+    assert!(s.contains(f0));
+    assert_eq!(s.iter().count(), 1);
+}
+
+/// Liveness on a diamond: a register defined in one arm only is live out
+/// of the fork (the join reads it), and dominance sees through the join.
+#[test]
+fn diamond_join_liveness_and_dominance() {
+    let mut m = Module::new("diamond");
+    let fork = m.func.add_block("fork");
+    let left = m.func.add_block("left");
+    let right = m.func.add_block("right");
+    let join = m.func.add_block("join");
+    let c = m.func.new_reg(RegClass::Int);
+    let v = m.func.new_reg(RegClass::Int);
+    let d = m.func.new_reg(RegClass::Int);
+    m.func.block_mut(fork).insts.extend([
+        Inst::mov(c, Operand::ImmI(0)),
+        Inst::mov(v, Operand::ImmI(5)),
+        Inst::br(Cond::Eq, c.into(), Operand::ImmI(0), right),
+    ]);
+    m.func.block_mut(left).insts.extend([
+        Inst::mov(v, Operand::ImmI(6)),
+        Inst::jump(join),
+    ]);
+    m.func.block_mut(right).insts.push(Inst::jump(join));
+    m.func.block_mut(join).insts.extend([
+        Inst::alu(Opcode::Add, d, v.into(), Operand::ImmI(1)),
+        Inst::halt(),
+    ]);
+
+    let live = Liveness::compute(&m.func);
+    assert!(live.live_out(fork).contains(v), "join's read keeps v live through both arms");
+    assert!(live.live_in(right).contains(v));
+    assert!(!live.live_out(join).contains(d));
+
+    let dom = Dominators::compute(&m.func);
+    assert!(dom.dominates(fork, join));
+    assert!(!dom.dominates(left, join), "join is reachable around either arm");
+    assert!(!dom.dominates(right, join));
+    let _ = BlockId(0);
+}

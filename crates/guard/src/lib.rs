@@ -10,10 +10,13 @@
 //! 1. **snapshots** the IR,
 //! 2. runs the [`ilpc_ir::verify`] verifier — in release builds too (the
 //!    bare pipeline only verifies under `debug_assertions`),
-//! 3. **spot-checks architectural results** against a reference oracle
+//! 3. runs the **static pass-delta lints** (`ilpc_lint::delta`) over the
+//!    snapshot/output pair — translation-validation rules that need no
+//!    execution at all,
+//! 4. **spot-checks architectural results** against a reference oracle
 //!    (the AST interpreter's output) by executing the module on the cycle
 //!    simulator, and
-//! 4. isolates pass **panics** with `catch_unwind`.
+//! 5. isolates pass **panics** with `catch_unwind`.
 //!
 //! On any failure the guard rolls the module back to the last good
 //! snapshot, records a typed incident, and the driver continues with the
@@ -24,6 +27,9 @@
 //!
 //! * [`VerifierReject`](GuardErrorKind::VerifierReject) — structurally
 //!   malformed IR (wrong operand arity/class, dangling target, …);
+//! * [`StaticLintReject`](GuardErrorKind::StaticLintReject) — well-formed
+//!   IR whose before/after delta breaks a translation-validation rule
+//!   (`ilpc_lint::delta`), caught statically before anything executes;
 //! * [`DifferentialMismatch`](GuardErrorKind::DifferentialMismatch) —
 //!   well-formed IR that computes the wrong answer, or IR the simulator
 //!   rejects at execution time;
@@ -53,6 +59,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 pub enum GuardErrorKind {
     /// The IR verifier rejected the pass output.
     VerifierReject,
+    /// A static translation-validation lint rejected the pass's
+    /// before/after delta (no execution involved).
+    StaticLintReject,
     /// The pass output computes wrong architectural results (or the
     /// simulator rejected it at execution time).
     DifferentialMismatch,
@@ -68,6 +77,7 @@ impl GuardErrorKind {
     pub fn name(self) -> &'static str {
         match self {
             GuardErrorKind::VerifierReject => "VerifierReject",
+            GuardErrorKind::StaticLintReject => "StaticLintReject",
             GuardErrorKind::DifferentialMismatch => "DifferentialMismatch",
             GuardErrorKind::PassPanic => "PassPanic",
             GuardErrorKind::BudgetExceeded => "BudgetExceeded",
@@ -254,6 +264,9 @@ pub struct GuardConfig {
     /// Spot-check architectural results after every step (requires an
     /// [`Oracle`]).
     pub differential: bool,
+    /// Run the static pass-delta lints (`ilpc_lint::delta`) after every
+    /// step, before the differential spot-check.
+    pub static_lints: bool,
     /// Contain pass panics with `catch_unwind`. Disable to let panics
     /// propagate (useful under a debugger).
     pub catch_panics: bool,
@@ -268,6 +281,7 @@ impl Default for GuardConfig {
         GuardConfig {
             verify: true,
             differential: true,
+            static_lints: true,
             catch_panics: true,
             max_insts: 1 << 20,
         }
@@ -340,7 +354,7 @@ impl<'a> Guard<'a> {
         };
         let error = if self.cfg.catch_panics {
             match catch_unwind(AssertUnwindSafe(|| body(m))) {
-                Ok(()) => self.check(m),
+                Ok(()) => self.check(m, &snapshot, name),
                 Err(payload) => Some(GuardError::new(
                     GuardErrorKind::PassPanic,
                     panic_message(payload),
@@ -348,7 +362,7 @@ impl<'a> Guard<'a> {
             }
         } else {
             body(m);
-            self.check(m)
+            self.check(m, &snapshot, name)
         };
 
         match error {
@@ -365,8 +379,10 @@ impl<'a> Guard<'a> {
     }
 
     /// Post-step checks, in escalating cost order: growth budget, then the
-    /// verifier, then the differential spot-check.
-    fn check(&self, m: &Module) -> Option<GuardError> {
+    /// verifier, then the static pass-delta lints (the snapshot taken for
+    /// rollback doubles as the "before" module), then the differential
+    /// spot-check — the only one that has to execute anything.
+    fn check(&self, m: &Module, before: &Module, pass: &'static str) -> Option<GuardError> {
         let insts = m.func.num_insts();
         if insts > self.cfg.max_insts {
             return Some(GuardError::new(
@@ -377,6 +393,12 @@ impl<'a> Guard<'a> {
         if self.cfg.verify {
             if let Err(e) = verify_module(m) {
                 return Some(GuardError::new(GuardErrorKind::VerifierReject, e.to_string()));
+            }
+        }
+        if self.cfg.static_lints {
+            let diags = ilpc_lint::delta::check_step(before, m, pass);
+            if let Some(d) = diags.first() {
+                return Some(GuardError::new(GuardErrorKind::StaticLintReject, d.to_string()));
             }
         }
         if self.cfg.differential {
@@ -581,6 +603,38 @@ mod tests {
         assert_eq!(inc.error.kind, GuardErrorKind::DifferentialMismatch);
         assert_eq!(inc.pass, "unroll");
         assert_eq!(guard.report.achieved, Some(Level::Conv));
+        oracle.check(&l.module).unwrap();
+    }
+
+    #[test]
+    fn trip_count_corruption_is_caught_statically() {
+        let (p, init) = dotprod();
+        let mut l = lower(&p);
+        let oracle = oracle_for(&p, &init, &l);
+        // Corrupt the module right after "rename" (step 3, trip-preserving):
+        // negate every conditional branch. Structurally valid — only the
+        // static delta lints or the differential can catch it, and the
+        // static check runs first.
+        let mut guard = Guard::new(GuardConfig::default(), Some(&oracle)).with_hook(StepHook {
+            at_step: 3,
+            action: Box::new(|m: &mut Module| {
+                let blocks: Vec<_> = m.func.layout_order().to_vec();
+                for b in blocks {
+                    for inst in &mut m.func.block_mut(b).insts {
+                        if let Opcode::Br(c) = inst.op {
+                            inst.op = Opcode::Br(c.negated());
+                        }
+                    }
+                }
+            }),
+        });
+        guarded_apply_level(&mut l.module, Level::Lev4, &UnrollConfig::default(), &mut guard);
+        assert_eq!(guard.report.incidents.len(), 1, "{:#?}", guard.report.incidents);
+        let inc = &guard.report.incidents[0];
+        assert_eq!(inc.error.kind, GuardErrorKind::StaticLintReject);
+        assert_eq!(inc.pass, "rename");
+        assert!(inc.error.detail.contains("delta-counted-loops"), "{}", inc.error.detail);
+        // Rolled back: the surviving module is still correct.
         oracle.check(&l.module).unwrap();
     }
 

@@ -30,6 +30,9 @@ use std::fmt;
 pub enum Outcome {
     /// The IR verifier rejected the faulted step.
     FlaggedVerifier,
+    /// A static pass-delta lint (`ilpc-lint`) rejected the faulted step —
+    /// caught without executing anything.
+    FlaggedLint,
     /// The per-step differential spot-check rejected the faulted step.
     FlaggedDifferential,
     /// The fault made a pass panic; the firewall contained it.
@@ -48,8 +51,9 @@ pub enum Outcome {
 
 impl Outcome {
     /// Every outcome, flagged classes first.
-    pub const ALL: [Outcome; 7] = [
+    pub const ALL: [Outcome; 8] = [
         Outcome::FlaggedVerifier,
+        Outcome::FlaggedLint,
         Outcome::FlaggedDifferential,
         Outcome::FlaggedPanic,
         Outcome::FlaggedBudget,
@@ -61,6 +65,7 @@ impl Outcome {
     pub fn name(self) -> &'static str {
         match self {
             Outcome::FlaggedVerifier => "flagged-verifier",
+            Outcome::FlaggedLint => "flagged-lint",
             Outcome::FlaggedDifferential => "flagged-differential",
             Outcome::FlaggedPanic => "flagged-panic",
             Outcome::FlaggedBudget => "flagged-budget",
@@ -137,6 +142,27 @@ impl CampaignReport {
         self.records.iter().filter(|r| r.injected).count()
     }
 
+    /// Static-vs-dynamic catch breakdown over injected faults:
+    /// `(static, verifier, dynamic)` counts, where *static* is the
+    /// pass-delta lints, *verifier* the structural IR verifier (also
+    /// static, but a separate layer), and *dynamic* everything that had to
+    /// execute the module (differential, sim, budgets, panics are counted
+    /// with the dynamic side since containment happens at run time).
+    pub fn static_catch(&self) -> (usize, usize, usize) {
+        let lint = self.count(Outcome::FlaggedLint);
+        let verifier = self.count(Outcome::FlaggedVerifier);
+        let dynamic = [
+            Outcome::FlaggedDifferential,
+            Outcome::FlaggedPanic,
+            Outcome::FlaggedBudget,
+            Outcome::FlaggedSim,
+        ]
+        .into_iter()
+        .map(|o| self.count(o))
+        .sum();
+        (lint, verifier, dynamic)
+    }
+
     /// Render the outcome × fault-class summary table.
     pub fn render(&self) -> String {
         let mut kinds: Vec<&'static str> =
@@ -170,6 +196,10 @@ impl CampaignReport {
             self.records.len(),
             self.silent_escapes()
         ));
+        let (lint, verifier, dynamic) = self.static_catch();
+        out.push_str(&format!(
+            "static catch rate: {lint} lint + {verifier} verifier static, {dynamic} dynamic\n"
+        ));
         out
     }
 }
@@ -190,6 +220,7 @@ fn classify(w: &Workload, gc: &GuardedCompile, machine: &Machine) -> Outcome {
     if let Some(inc) = gc.guard.incidents.first() {
         return match inc.error.kind {
             GuardErrorKind::VerifierReject => Outcome::FlaggedVerifier,
+            GuardErrorKind::StaticLintReject => Outcome::FlaggedLint,
             GuardErrorKind::DifferentialMismatch => Outcome::FlaggedDifferential,
             GuardErrorKind::PassPanic => Outcome::FlaggedPanic,
             GuardErrorKind::BudgetExceeded => Outcome::FlaggedBudget,
@@ -313,6 +344,7 @@ mod tests {
         assert!(report.injected() >= 40, "\n{}", report.render());
         let flagged: usize = [
             Outcome::FlaggedVerifier,
+            Outcome::FlaggedLint,
             Outcome::FlaggedDifferential,
             Outcome::FlaggedPanic,
             Outcome::FlaggedBudget,
@@ -322,6 +354,21 @@ mod tests {
         .map(|o| report.count(o))
         .sum();
         assert!(flagged >= 10, "only {flagged} flagged:\n{}", report.render());
+    }
+
+    /// The static pre-check must actually catch faults — a nonzero lint
+    /// share of the catch-rate breakdown, deterministically per seed.
+    #[test]
+    fn static_lints_catch_some_faults() {
+        let cfg = CampaignConfig { faults: 120, seed: 7, ..CampaignConfig::default() };
+        let report = run_campaign(&cfg);
+        let (lint, verifier, dynamic) = report.static_catch();
+        assert!(
+            lint > 0,
+            "static lints caught nothing (verifier {verifier}, dynamic {dynamic}):\n{}",
+            report.render()
+        );
+        assert_eq!(report.silent_escapes(), 0, "\n{}", report.render());
     }
 
     /// Same seed → byte-identical records.

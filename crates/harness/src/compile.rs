@@ -19,7 +19,7 @@ use ilpc_ir::value::{ArrayVal, Value};
 use ilpc_ir::{Module, SymId};
 use ilpc_machine::Machine;
 use ilpc_regalloc::RegUsage;
-use ilpc_sched::{form_superblocks, schedule_module, SuperblockConfig, SuperblockReport};
+use ilpc_sched::{form_superblocks, schedule_module, BlockSchedule, SuperblockConfig, SuperblockReport};
 use ilpc_sim::{memory_from_init, SimLimits};
 use ilpc_workloads::Workload;
 use std::collections::HashMap;
@@ -38,6 +38,12 @@ pub struct Compiled {
     pub regs: RegUsage,
     /// Static instruction count after compilation.
     pub static_insts: usize,
+    /// Per-block issue schedules from list scheduling, indexed like the
+    /// function's block table (`None` for unscheduled/detached blocks, or
+    /// everywhere when a guarded backend step was rolled back). Kept so
+    /// `ilpc-lint`'s schedule auditor can re-validate them against the
+    /// machine model without re-running the scheduler.
+    pub schedules: Vec<Option<BlockSchedule>>,
 }
 
 fn finish(
@@ -47,10 +53,10 @@ fn finish(
     machine: &Machine,
 ) -> Compiled {
     let superblocks = form_superblocks(&mut module, &SuperblockConfig::default());
-    schedule_module(&mut module, machine);
+    let schedules = schedule_module(&mut module, machine);
     let regs = ilpc_regalloc::measure(&module.func);
     let static_insts = module.func.num_insts();
-    Compiled { module, shadow, report, superblocks, regs, static_insts }
+    Compiled { module, shadow, report, superblocks, regs, static_insts, schedules }
 }
 
 /// Compile `w` at `level` for `machine`.
@@ -151,9 +157,13 @@ pub fn compile_guarded(
     if !kept {
         superblocks = SuperblockReport::default();
     }
-    guard.step(&mut module, "list-schedule", |m| {
-        schedule_module(m, machine);
+    let mut schedules = Vec::new();
+    let kept = guard.step(&mut module, "list-schedule", |m| {
+        schedules = schedule_module(m, machine);
     });
+    if !kept {
+        schedules = Vec::new();
+    }
 
     let regs = ilpc_regalloc::measure(&module.func);
     let static_insts = module.func.num_insts();
@@ -165,6 +175,7 @@ pub fn compile_guarded(
             superblocks,
             regs,
             static_insts,
+            schedules,
         },
         guard: guard.report,
     }

@@ -117,7 +117,7 @@ pub fn compile_with_profile(
         };
         let superblocks =
             form_superblocks(&mut module, &SuperblockConfig::default());
-        schedule_module(&mut module, machine);
+        let schedules = schedule_module(&mut module, machine);
         let regs = ilpc_regalloc::measure(&module.func);
         let static_insts = module.func.num_insts();
         return Ok((
@@ -128,12 +128,13 @@ pub fn compile_with_profile(
                 superblocks,
                 regs,
                 static_insts,
+                schedules,
             },
             profile,
         ));
     }
     let superblocks = form_superblocks(&mut module, &SuperblockConfig::default());
-    schedule_module(&mut module, machine);
+    let schedules = schedule_module(&mut module, machine);
     let regs = ilpc_regalloc::measure(&module.func);
     let static_insts = module.func.num_insts();
     Ok((
@@ -144,6 +145,7 @@ pub fn compile_with_profile(
             superblocks,
             regs,
             static_insts,
+            schedules,
         },
         profile,
     ))

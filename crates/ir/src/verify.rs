@@ -17,9 +17,15 @@ use crate::inst::{Inst, Operand};
 use crate::op::Opcode;
 use crate::reg::RegClass;
 
-/// A verifier failure, with block/instruction coordinates.
+/// A verifier failure, with block/instruction coordinates and a stable
+/// machine-readable `code` (kebab-case) so lint tooling can group and
+/// filter findings without parsing messages. `Display` prints exactly
+/// what it always has — guard incident text is unchanged.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyError {
+    /// Stable error class: `reg-range`, `dangling-target`, `target-shape`,
+    /// `operand-shape`, `class-mismatch`, `mem-tag`, `cfg-fallthrough`.
+    pub code: &'static str,
     pub block: BlockId,
     pub index: usize,
     pub message: String,
@@ -33,8 +39,8 @@ impl std::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
-fn err(block: BlockId, index: usize, message: String) -> Result<(), VerifyError> {
-    Err(VerifyError { block, index, message })
+fn err(code: &'static str, block: BlockId, index: usize, message: String) -> Result<(), VerifyError> {
+    Err(VerifyError { code, block, index, message })
 }
 
 fn check_class(
@@ -46,12 +52,15 @@ fn check_class(
 ) -> Result<(), VerifyError> {
     match op.class() {
         Some(c) if c == want => Ok(()),
-        Some(c) => err(b, i, format!("{what} has class {c}, expected {want}")),
-        None => err(b, i, format!("{what} operand missing")),
+        Some(c) => err("class-mismatch", b, i, format!("{what} has class {c}, expected {want}")),
+        None => err("operand-shape", b, i, format!("{what} operand missing")),
     }
 }
 
-fn verify_inst(
+/// Verify one instruction in isolation (register ranges, operand shapes,
+/// class consistency, branch-target validity). Public so `ilpc-lint` can
+/// collect every error in a module rather than stopping at the first.
+pub fn verify_inst(
     f: &Function,
     m: Option<&Module>,
     b: BlockId,
@@ -62,24 +71,25 @@ fn verify_inst(
     // Register ids in range.
     for r in inst.uses().chain(inst.def()) {
         if r.id >= f.vreg_count(r.class) {
-            return err(b, i, format!("register {r} out of allocated range"));
+            return err("reg-range", b, i, format!("register {r} out of allocated range"));
         }
     }
     // Branch targets exist.
     if let Some(t) = inst.target {
         if f.layout_pos(t).is_none() {
-            return err(b, i, format!("target {t} not in layout"));
+            return err("dangling-target", b, i, format!("target {t} not in layout"));
         }
         if !inst.op.is_branch() {
-            return err(b, i, "non-branch has a target".into());
+            return err("target-shape", b, i, "non-branch has a target".into());
         }
     } else if inst.op.is_branch() {
-        return err(b, i, "branch without target".into());
+        return err("target-shape", b, i, "branch without target".into());
     }
 
     match inst.op {
         Mov => {
             let d = inst.dst.ok_or_else(|| VerifyError {
+                code: "operand-shape",
                 block: b,
                 index: i,
                 message: "mov without dst".into(),
@@ -89,13 +99,14 @@ fn verify_inst(
         Add | Sub | And | Or | Xor | Shl | Shr | Mul | Div | Rem | FAdd | FSub
         | FMul | FDiv => {
             let d = inst.dst.ok_or_else(|| VerifyError {
+                code: "operand-shape",
                 block: b,
                 index: i,
                 message: "alu without dst".into(),
             })?;
             let want = inst.op.result_class().unwrap();
             if d.class != want {
-                return err(b, i, format!("dst {d} wrong class for {}", inst.op));
+                return err("class-mismatch", b, i, format!("dst {d} wrong class for {}", inst.op));
             }
             check_class("src1", inst.src[0], want, b, i)?;
             check_class("src2", inst.src[1], want, b, i)?;
@@ -103,17 +114,18 @@ fn verify_inst(
         CvtIF => {
             check_class("cvt src", inst.src[0], RegClass::Int, b, i)?;
             if inst.dst.map(|d| d.class) != Some(RegClass::Flt) {
-                return err(b, i, "cvtif dst must be float".into());
+                return err("class-mismatch", b, i, "cvtif dst must be float".into());
             }
         }
         CvtFI => {
             check_class("cvt src", inst.src[0], RegClass::Flt, b, i)?;
             if inst.dst.map(|d| d.class) != Some(RegClass::Int) {
-                return err(b, i, "cvtfi dst must be int".into());
+                return err("class-mismatch", b, i, "cvtfi dst must be int".into());
             }
         }
         Load => {
             let d = inst.dst.ok_or_else(|| VerifyError {
+                code: "operand-shape",
                 block: b,
                 index: i,
                 message: "load without dst".into(),
@@ -121,13 +133,14 @@ fn verify_inst(
             check_class("base", inst.src[0], RegClass::Int, b, i)?;
             check_class("offset", inst.src[1], RegClass::Int, b, i)?;
             let mem = inst.mem.ok_or_else(|| VerifyError {
+                code: "mem-tag",
                 block: b,
                 index: i,
                 message: "load without mem tag".into(),
             })?;
             if let Some(module) = m {
                 if module.symtab.get(mem.sym).class != d.class {
-                    return err(b, i, format!("load class mismatch for {}", mem.sym));
+                    return err("class-mismatch", b, i, format!("load class mismatch for {}", mem.sym));
                 }
             }
         }
@@ -135,16 +148,17 @@ fn verify_inst(
             check_class("base", inst.src[0], RegClass::Int, b, i)?;
             check_class("offset", inst.src[1], RegClass::Int, b, i)?;
             if !inst.src[2].is_some() {
-                return err(b, i, "store without value".into());
+                return err("operand-shape", b, i, "store without value".into());
             }
             let mem = inst.mem.ok_or_else(|| VerifyError {
+                code: "mem-tag",
                 block: b,
                 index: i,
                 message: "store without mem tag".into(),
             })?;
             if let (Some(module), Some(c)) = (m, inst.src[2].class()) {
                 if module.symtab.get(mem.sym).class != c {
-                    return err(b, i, format!("store class mismatch for {}", mem.sym));
+                    return err("class-mismatch", b, i, format!("store class mismatch for {}", mem.sym));
                 }
             }
         }
@@ -152,7 +166,7 @@ fn verify_inst(
             let c1 = inst.src[0].class();
             let c2 = inst.src[1].class();
             if c1.is_none() || c1 != c2 {
-                return err(b, i, "branch compares mismatched classes".into());
+                return err("class-mismatch", b, i, "branch compares mismatched classes".into());
             }
         }
         Jump | Halt | Nop => {}
@@ -169,9 +183,16 @@ pub fn verify_function(f: &Function, m: Option<&Module>) -> Result<(), VerifyErr
         }
     }
     // Last block must not fall off the end.
+    check_final_block(f)?;
+    Ok(())
+}
+
+/// The last layout block must end in a control transfer.
+fn check_final_block(f: &Function) -> Result<(), VerifyError> {
     if let Some(&last) = f.layout_order().last() {
         if !f.block(last).ends_in_transfer() {
             return err(
+                "cfg-fallthrough",
                 last,
                 f.block(last).insts.len().saturating_sub(1),
                 "final layout block falls off the end of the function".into(),
@@ -179,6 +200,25 @@ pub fn verify_function(f: &Function, m: Option<&Module>) -> Result<(), VerifyErr
         }
     }
     Ok(())
+}
+
+/// Verify a function and collect *every* error instead of stopping at
+/// the first — the lint driver wants complete reports, while passes keep
+/// the cheap first-error [`verify_function`].
+pub fn verify_function_all(f: &Function, m: Option<&Module>) -> Vec<VerifyError> {
+    let mut out = Vec::new();
+    for &bid in f.layout_order() {
+        let blk = f.block(bid);
+        for (i, inst) in blk.insts.iter().enumerate() {
+            if let Err(e) = verify_inst(f, m, bid, i, inst) {
+                out.push(e);
+            }
+        }
+    }
+    if let Err(e) = check_final_block(f) {
+        out.push(e);
+    }
+    out
 }
 
 /// Verify a module.
@@ -354,9 +394,26 @@ mod tests {
         let body = BlockId(1);
         m.func.block_mut(body).insts[3].target = Some(BlockId(u32::MAX - 1));
         let e = verify_module(&m).unwrap_err();
+        assert_eq!(e.code, "dangling-target");
         assert_eq!(e.block, body);
         assert_eq!(e.index, 3);
         assert!(e.message.contains("not in layout"), "{e}");
         assert!(e.to_string().contains("inst 3"), "{e}");
+    }
+
+    /// `verify_function_all` keeps going past the first error and returns
+    /// each one with its own code and coordinates.
+    #[test]
+    fn collects_every_error() {
+        let mut m = wellformed_loop();
+        let body = BlockId(1);
+        let exit = BlockId(2);
+        m.func.block_mut(body).insts[3].target = Some(BlockId(u32::MAX - 1));
+        m.func.block_mut(exit).insts[0].mem = None;
+        let all = verify_function_all(&m.func, Some(&m));
+        assert_eq!(all.len(), 2, "{all:?}");
+        assert_eq!(all[0].code, "dangling-target");
+        assert_eq!(all[1].code, "mem-tag");
+        assert_eq!(all[1].block, exit);
     }
 }

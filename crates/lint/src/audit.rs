@@ -1,0 +1,181 @@
+//! Static schedule auditor.
+//!
+//! `crates/sched/src/validate.rs` started life as a property-test oracle;
+//! this module turns it into a grid-wide lint. For every scheduled block
+//! of a compiled artifact it re-derives the dependence DAG from the
+//! *original* program order (recovered through the schedule's permutation)
+//! and re-checks everything the machine model imposes — issue width,
+//! branch slots, per-FU limits, latencies — plus the speculation policy
+//! the list scheduler claims to have used. Nothing is executed.
+
+use crate::diag::{sort_diagnostics, Diagnostic, Severity};
+use ilpc_analysis::Liveness;
+use ilpc_ir::{Inst, Module};
+use ilpc_machine::Machine;
+use ilpc_sched::{validate_schedule, BlockSchedule};
+
+/// Audit the per-block schedules of `m` (as returned by
+/// `schedule_module`, indexed by `BlockId.0`) against `machine`.
+///
+/// The module must be the *scheduled* module — its block bodies are
+/// expected to match each schedule's emitted order; a mismatch is itself
+/// reported (`sched-stale`) since it means the schedules do not describe
+/// the artifact being shipped.
+pub fn audit_schedules(
+    m: &Module,
+    schedules: &[Option<BlockSchedule>],
+    machine: &Machine,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let f = &m.func;
+    // The same liveness the scheduler consulted: per-block gen/kill sets
+    // are invariant under the dependence-respecting within-block
+    // permutations scheduling performs, so recomputing on the scheduled
+    // module reproduces the pre-scheduling sets.
+    let live = Liveness::compute(f);
+    let can_cross = |branch: &Inst, later: &Inst| -> bool {
+        if !later.can_speculate(machine.nonexcepting_loads) {
+            return false;
+        }
+        match (later.def(), branch.target) {
+            (Some(d), Some(t)) => !live.live_in(t).contains(d),
+            _ => true,
+        }
+    };
+
+    for &b in f.layout_order() {
+        let Some(Some(s)) = schedules.get(b.0 as usize) else {
+            continue;
+        };
+        if f.block(b).insts != s.insts {
+            out.push(
+                Diagnostic::new(
+                    "sched-stale",
+                    Severity::Error,
+                    &f.name,
+                    "block body does not match the schedule's emitted order".to_string(),
+                )
+                .at_block(b),
+            );
+            continue;
+        }
+        // Recover the original program order through the permutation
+        // (perm[pos] = original index of the instruction at pos).
+        let n = s.insts.len();
+        let mut original: Vec<Option<Inst>> = vec![None; n];
+        let mut valid = s.perm.len() == n;
+        for (pos, &oi) in s.perm.iter().enumerate() {
+            if oi >= n || original[oi].is_some() {
+                valid = false;
+                break;
+            }
+            original[oi] = Some(s.insts[pos].clone());
+        }
+        if !valid {
+            out.push(
+                Diagnostic::new(
+                    "sched-perm",
+                    Severity::Error,
+                    &f.name,
+                    "schedule permutation is not a bijection over the block".to_string(),
+                )
+                .at_block(b),
+            );
+            continue;
+        }
+        let original: Vec<Inst> = original.into_iter().map(Option::unwrap).collect();
+        if let Err(v) = validate_schedule(&original, s, machine, &can_cross) {
+            out.push(Diagnostic::new(v.code, Severity::Error, &f.name, v.message).at_block(b));
+        }
+    }
+    sort_diagnostics(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::inst::MemLoc;
+    use ilpc_ir::{Cond, Opcode, Operand, RegClass};
+    use ilpc_sched::schedule_module;
+
+    fn scheduled_loop(width: u32) -> (Module, Vec<Option<BlockSchedule>>, Machine) {
+        let mut m = Module::new("audited");
+        let a = m.symtab.declare("A", 8, RegClass::Flt);
+        let entry = m.func.add_block("entry");
+        let body = m.func.add_block("body");
+        let exit = m.func.add_block("exit");
+        let i = m.func.new_reg(RegClass::Int);
+        let s = m.func.new_reg(RegClass::Flt);
+        let x = m.func.new_reg(RegClass::Flt);
+        m.func.block_mut(entry).insts.extend([
+            ilpc_ir::Inst::mov(i, Operand::ImmI(0)),
+            ilpc_ir::Inst::mov(s, Operand::ImmF(0.0)),
+        ]);
+        m.func.block_mut(body).insts.extend([
+            ilpc_ir::Inst::load(x, Operand::Sym(a), i.into(), MemLoc::affine(a, 1, 0)),
+            ilpc_ir::Inst::alu(Opcode::FAdd, s, s.into(), x.into()),
+            ilpc_ir::Inst::alu(Opcode::Add, i, i.into(), Operand::ImmI(1)),
+            ilpc_ir::Inst::br(Cond::Lt, i.into(), Operand::ImmI(8), body),
+        ]);
+        m.func.block_mut(exit).insts.extend([
+            ilpc_ir::Inst::store(Operand::Sym(a), Operand::ImmI(0), s.into(), MemLoc::affine(a, 0, 0)),
+            ilpc_ir::Inst::halt(),
+        ]);
+        let machine = Machine::issue(width);
+        let scheds = schedule_module(&mut m, &machine);
+        (m, scheds, machine)
+    }
+
+    #[test]
+    fn scheduler_output_audits_clean() {
+        for width in [1, 4, 8] {
+            let (m, scheds, machine) = scheduled_loop(width);
+            let diags = audit_schedules(&m, &scheds, &machine);
+            assert!(diags.is_empty(), "width {width}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn tampered_issue_time_is_flagged() {
+        let (m, mut scheds, machine) = scheduled_loop(8);
+        let body = ilpc_ir::BlockId(1);
+        let s = scheds[body.0 as usize].as_mut().unwrap();
+        // Pull every instruction into cycle 0: the fadd needs the load's
+        // latency, so this must violate a dependence delay.
+        for t in &mut s.times {
+            *t = 0;
+        }
+        let diags = audit_schedules(&m, &scheds, &machine);
+        assert!(
+            diags.iter().any(|d| d.lint_id == "sched-dep-delay" && d.block == Some(body)),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_width_is_flagged() {
+        let (m, scheds, _) = scheduled_loop(8);
+        // Audit the 8-wide schedule against a 1-wide machine.
+        let narrow = Machine::issue(1);
+        let diags = audit_schedules(&m, &scheds, &narrow);
+        assert!(
+            diags.iter().any(|d| d.lint_id == "sched-width"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn stale_schedule_is_flagged() {
+        let (mut m, scheds, machine) = scheduled_loop(4);
+        let body = ilpc_ir::BlockId(1);
+        // Mutate the module after scheduling; the schedules no longer
+        // describe the artifact.
+        m.func.block_mut(body).insts[0].ext ^= 1;
+        let diags = audit_schedules(&m, &scheds, &machine);
+        assert!(
+            diags.iter().any(|d| d.lint_id == "sched-stale" && d.block == Some(body)),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,473 @@
+//! Dataflow lints over a whole module.
+//!
+//! These are the "whole-artifact" lints: the structural verifier promoted
+//! into complete, located diagnostics, plus fixpoint-dataflow checks the
+//! verifier (which looks at one instruction at a time) cannot express —
+//! reads of uninitialized registers (must-uninit is an error, may-uninit
+//! a warning), dead register writes, unreachable layout blocks,
+//! degenerate CFG edges, and inner loops that fell out of canonical
+//! counted form.
+//!
+//! Severity contract (enforced by the grid test in `tests/`): healthy
+//! pipeline output at every level is free of *error*-severity findings;
+//! warnings and notes are allowed (e.g. `Conv` artifacts carry dead defs
+//! because no DCE has run yet).
+
+use crate::diag::{sort_diagnostics, Diagnostic, Severity};
+use ilpc_analysis::{as_counted_loop, Dominators, Liveness, LoopForest, RegSet};
+use ilpc_ir::verify::verify_function_all;
+use ilpc_ir::{Function, Module, Opcode, Reg, RegClass};
+
+/// Run every module-level lint; returns diagnostics in deterministic order.
+pub fn lint_module(m: &Module) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let f = &m.func;
+
+    // Structural verifier, promoted: every error, with coordinates, not
+    // just the first.
+    for e in verify_function_all(f, Some(m)) {
+        out.push(
+            Diagnostic::new(e.code, Severity::Error, &f.name, e.message).at_inst(e.block, e.index),
+        );
+    }
+
+    // The dataflow analyses assume a structurally valid CFG (e.g. a
+    // dangling branch target would be walked as a successor); run them
+    // only once the structural layer is clean.
+    if out.is_empty() {
+        lint_reachability(f, &mut out);
+        lint_uninit_reads(f, &mut out);
+        lint_dead_defs(f, &mut out);
+        lint_loop_shapes(f, &mut out);
+    }
+    lint_degenerate_cfg(f, &mut out);
+
+    sort_diagnostics(&mut out);
+    out
+}
+
+/// Every register the function has allocated, as a set.
+fn universe(f: &Function) -> RegSet {
+    let counts = [f.vreg_count(RegClass::Int), f.vreg_count(RegClass::Flt)];
+    let mut u = RegSet::with_capacity(counts);
+    for class in [RegClass::Int, RegClass::Flt] {
+        for id in 0..f.vreg_count(class) {
+            u.insert(Reg { id, class });
+        }
+    }
+    u
+}
+
+/// `unreachable-block`: a block is in the layout but no path from the
+/// entry reaches it. Dead layout is not illegal (the simulator never gets
+/// there) but it means some pass forgot to clean up after itself.
+fn lint_reachability(f: &Function, out: &mut Vec<Diagnostic>) {
+    if f.layout_order().is_empty() {
+        return;
+    }
+    let dom = Dominators::compute(f);
+    for &b in f.layout_order() {
+        if !dom.is_reachable(b) {
+            out.push(
+                Diagnostic::new(
+                    "unreachable-block",
+                    Severity::Warning,
+                    &f.name,
+                    format!("{b} is in the layout but unreachable from the entry"),
+                )
+                .at_block(b),
+            );
+        }
+    }
+}
+
+/// `uninit-read`: forward uninitialized-register analysis, run twice with
+/// the two classic join operators and a severity split between them:
+///
+/// * **must**-uninitialized (intersection over predecessors — *no* path
+///   from the entry defines the register before the read) is an **error**:
+///   no pass legitimately emits such a read.
+/// * **may**-uninitialized (union — *some* path skips the initializer) is
+///   a **warning**: the simulator's register file is zero-seeded so the
+///   read is well-defined, and healthy Lev4 artifacts carry this shape
+///   (accumulator expansion initializes its partial sums in the loop
+///   preheader, which the trip-count-zero early exit bypasses).
+fn lint_uninit_reads(f: &Function, out: &mut Vec<Diagnostic>) {
+    let layout = f.layout_order();
+    if layout.is_empty() {
+        return;
+    }
+    let entry = layout[0];
+    let n = f.num_blocks();
+    let preds = f.preds();
+    let dom = Dominators::compute(f);
+    let top = universe(f);
+
+    // Fixpoint per join: undef_in[b] = join of preds' outs (entry: every
+    // register); out = in minus the block's defs. Uses don't change the
+    // state, so block transfer is just def-kill. `union = true` computes
+    // may-uninit, `false` must-uninit (intersection, seeded from TOP and
+    // monotonically shrinking).
+    let solve = |union: bool| -> Vec<RegSet> {
+        // May (union) starts at bottom and grows; must (intersection)
+        // starts at TOP and shrinks to the greatest fixpoint. Both are
+        // monotone under the def-kill transfer, so each converges.
+        let init = if union { RegSet::new() } else { top.clone() };
+        let mut undef_in: Vec<RegSet> = vec![init.clone(); n];
+        let mut undef_out: Vec<RegSet> = vec![init; n];
+        undef_in[entry.0 as usize] = top.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in layout {
+                let bi = b.0 as usize;
+                if !dom.is_reachable(b) {
+                    continue;
+                }
+                if b != entry {
+                    let mut inset: Option<RegSet> = None;
+                    for p in &preds[bi] {
+                        if !dom.is_reachable(*p) {
+                            continue;
+                        }
+                        let po = &undef_out[p.0 as usize];
+                        match &mut inset {
+                            None => inset = Some(po.clone()),
+                            Some(acc) => {
+                                if union {
+                                    acc.union_with(po);
+                                } else {
+                                    let gone: Vec<_> =
+                                        acc.iter().filter(|r| !po.contains(*r)).collect();
+                                    for r in gone {
+                                        acc.remove(r);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    undef_in[bi] = inset.unwrap_or_default();
+                }
+                let mut o = undef_in[bi].clone();
+                for inst in &f.block(b).insts {
+                    if let Some(d) = inst.def() {
+                        o.remove(d);
+                    }
+                }
+                if o != undef_out[bi] {
+                    undef_out[bi] = o;
+                    changed = true;
+                }
+            }
+        }
+        undef_in
+    };
+    let may_in = solve(true);
+    let must_in = solve(false);
+
+    // Report pass: walk each reachable block with the converged in-states.
+    for &b in layout {
+        if !dom.is_reachable(b) {
+            continue;
+        }
+        let mut may = may_in[b.0 as usize].clone();
+        let mut must = must_in[b.0 as usize].clone();
+        for (i, inst) in f.block(b).insts.iter().enumerate() {
+            for r in inst.uses() {
+                if must.contains(r) {
+                    out.push(
+                        Diagnostic::new(
+                            "uninit-read",
+                            Severity::Error,
+                            &f.name,
+                            format!("{r} is read but no path from the entry defines it"),
+                        )
+                        .at_inst(b, i),
+                    );
+                } else if may.contains(r) {
+                    out.push(
+                        Diagnostic::new(
+                            "uninit-read-may",
+                            Severity::Warning,
+                            &f.name,
+                            format!("{r} may be read before any definition reaches here"),
+                        )
+                        .at_inst(b, i),
+                    );
+                }
+            }
+            if let Some(d) = inst.def() {
+                may.remove(d);
+                must.remove(d);
+            }
+        }
+    }
+}
+
+/// `dead-store`: a register write that nothing ever reads. Harmless to
+/// execute but it burns an issue slot; `Conv`-level artifacts carry these
+/// by design (no DCE has run), so this is a warning, not an error.
+fn lint_dead_defs(f: &Function, out: &mut Vec<Diagnostic>) {
+    if f.layout_order().is_empty() {
+        return;
+    }
+    let live = Liveness::compute(f);
+    for &b in f.layout_order() {
+        let mut after = live.live_out(b).clone();
+        let insts = &f.block(b).insts;
+        for (i, inst) in insts.iter().enumerate().rev() {
+            if let Some(d) = inst.def() {
+                if !after.contains(d) && !inst.has_side_effects() {
+                    out.push(
+                        Diagnostic::new(
+                            "dead-store",
+                            Severity::Warning,
+                            &f.name,
+                            format!("{d} is written here but never read"),
+                        )
+                        .at_inst(b, i),
+                    );
+                }
+                after.remove(d);
+            }
+            for r in inst.uses() {
+                after.insert(r);
+            }
+        }
+    }
+}
+
+/// Degenerate CFG shapes: code after an unconditional transfer inside a
+/// block (`unreachable-code`), and a conditional branch whose taken target
+/// is its own fall-through (`branch-to-fallthrough` — both edges go to the
+/// same place, so the compare is useless).
+fn lint_degenerate_cfg(f: &Function, out: &mut Vec<Diagnostic>) {
+    for &b in f.layout_order() {
+        let insts = &f.block(b).insts;
+        for (i, inst) in insts.iter().enumerate() {
+            if matches!(inst.op, Opcode::Jump | Opcode::Halt) && i + 1 < insts.len() {
+                out.push(
+                    Diagnostic::new(
+                        "unreachable-code",
+                        Severity::Warning,
+                        &f.name,
+                        format!("{} instruction(s) after an unconditional transfer", insts.len() - i - 1),
+                    )
+                    .at_inst(b, i + 1),
+                );
+                break; // one finding per block is enough
+            }
+            if matches!(inst.op, Opcode::Br(_)) && i + 1 == insts.len() {
+                if let (Some(t), Some(ft)) = (inst.target, f.fallthrough(b)) {
+                    if t == ft {
+                        out.push(
+                            Diagnostic::new(
+                                "branch-to-fallthrough",
+                                Severity::Warning,
+                                &f.name,
+                                format!("conditional branch targets its own fall-through {t}"),
+                            )
+                            .at_inst(b, i),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `counted-loop-malformed`: an inner loop whose back edge *looks* like a
+/// counted-loop test (conditional branch on an integer register) but does
+/// not satisfy canonical counted form — the shape unrolling would want but
+/// cannot prove. A note: expanded/unrolled loops legitimately leave
+/// canonical form.
+fn lint_loop_shapes(f: &Function, out: &mut Vec<Diagnostic>) {
+    if f.layout_order().is_empty() {
+        return;
+    }
+    let forest = LoopForest::compute(f);
+    for lp in forest.inner_loops() {
+        if as_counted_loop(f, lp).is_some() {
+            continue;
+        }
+        let latch_insts = &f.block(lp.latch).insts;
+        let looks_counted = latch_insts.last().is_some_and(|br| {
+            matches!(br.op, Opcode::Br(_))
+                && br.target == Some(lp.header)
+                && br.src[0].reg().is_some_and(|r| r.is_int())
+        });
+        if looks_counted {
+            out.push(
+                Diagnostic::new(
+                    "counted-loop-malformed",
+                    Severity::Note,
+                    &f.name,
+                    format!(
+                        "inner loop at {} tests an integer register but is not in counted form",
+                        lp.header
+                    ),
+                )
+                .at_block(lp.latch),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilpc_ir::inst::{Inst, MemLoc};
+    use ilpc_ir::{Cond, Operand};
+
+    /// entry → body (loop) → exit, fully initialized: lint-clean of errors.
+    fn clean_loop() -> Module {
+        let mut m = Module::new("clean");
+        let a = m.symtab.declare("A", 8, RegClass::Flt);
+        let entry = m.func.add_block("entry");
+        let body = m.func.add_block("body");
+        let exit = m.func.add_block("exit");
+        let i = m.func.new_reg(RegClass::Int);
+        let s = m.func.new_reg(RegClass::Flt);
+        let x = m.func.new_reg(RegClass::Flt);
+        m.func.block_mut(entry).insts.extend([
+            Inst::mov(i, Operand::ImmI(0)),
+            Inst::mov(s, Operand::ImmF(0.0)),
+        ]);
+        m.func.block_mut(body).insts.extend([
+            Inst::load(x, Operand::Sym(a), i.into(), MemLoc::affine(a, 1, 0)),
+            Inst::alu(Opcode::FAdd, s, s.into(), x.into()),
+            Inst::alu(Opcode::Add, i, i.into(), Operand::ImmI(1)),
+            Inst::br(Cond::Lt, i.into(), Operand::ImmI(8), body),
+        ]);
+        m.func.block_mut(exit).insts.extend([
+            Inst::store(Operand::Sym(a), Operand::ImmI(0), s.into(), MemLoc::affine(a, 0, 0)),
+            Inst::halt(),
+        ]);
+        let _ = exit;
+        m
+    }
+
+    #[test]
+    fn clean_module_has_no_errors() {
+        let diags = lint_module(&clean_loop());
+        assert!(
+            !crate::diag::has_errors(&diags),
+            "unexpected errors: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn flags_uninit_read_with_coordinates() {
+        let mut m = clean_loop();
+        // Feed the accumulator from a register no instruction defines:
+        // must-uninitialized on every path, the error-severity form.
+        let g = m.func.new_reg(RegClass::Flt);
+        m.func.block_mut(ilpc_ir::BlockId(1)).insts[1].src[0] = g.into();
+        let diags = lint_module(&m);
+        let hit = diags
+            .iter()
+            .find(|d| d.lint_id == "uninit-read")
+            .expect("uninit read not flagged");
+        assert_eq!(hit.severity, Severity::Error);
+        assert_eq!(hit.block, Some(ilpc_ir::BlockId(1)));
+        assert_eq!(hit.inst, Some(1)); // the fadd reading g
+    }
+
+    #[test]
+    fn conditional_init_is_still_maybe_uninit() {
+        // entry branches over the initializer; the join reads the register.
+        let mut m = Module::new("cond");
+        let entry = m.func.add_block("entry");
+        let init = m.func.add_block("init");
+        let join = m.func.add_block("join");
+        let r = m.func.new_reg(RegClass::Int);
+        let d = m.func.new_reg(RegClass::Int);
+        m.func
+            .block_mut(entry)
+            .insts
+            .push(Inst::br(Cond::Eq, Operand::ImmI(0), Operand::ImmI(0), join));
+        m.func.block_mut(init).insts.push(Inst::mov(r, Operand::ImmI(1)));
+        m.func.block_mut(join).insts.extend([
+            Inst::alu(Opcode::Add, d, r.into(), Operand::ImmI(1)),
+            Inst::halt(),
+        ]);
+        let diags = lint_module(&m);
+        let hit = diags
+            .iter()
+            .find(|d| d.lint_id == "uninit-read-may")
+            .expect("maybe-undef read through the skipping path not flagged");
+        // One path does initialize, so this is the warning-severity form.
+        assert_eq!(hit.severity, Severity::Warning);
+        assert!(!crate::diag::has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn flags_dead_def_and_unreachable_block() {
+        let mut m = clean_loop();
+        // A def nothing reads, in the exit block before the store.
+        let t = m.func.new_reg(RegClass::Int);
+        m.func
+            .block_mut(ilpc_ir::BlockId(2))
+            .insts
+            .insert(0, Inst::mov(t, Operand::ImmI(42)));
+        // An orphan block in the layout nothing jumps to.
+        let orphan = m.func.add_block("orphan");
+        m.func.block_mut(orphan).insts.push(Inst::halt());
+        let diags = lint_module(&m);
+        assert!(diags.iter().any(|d| d.lint_id == "dead-store"), "{diags:?}");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.lint_id == "unreachable-block" && d.block == Some(orphan)),
+            "{diags:?}"
+        );
+        // Warnings only — nothing here is an error.
+        assert!(!crate::diag::has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn flags_degenerate_branch_and_trailing_code() {
+        let mut m = clean_loop();
+        // Make the loop branch target its own fall-through: body's br now
+        // aims at exit, which is also the fall-through.
+        m.func.block_mut(ilpc_ir::BlockId(1)).insts[3].target = Some(ilpc_ir::BlockId(2));
+        let diags = lint_module(&m);
+        assert!(
+            diags.iter().any(|d| d.lint_id == "branch-to-fallthrough"),
+            "{diags:?}"
+        );
+
+        let mut m2 = clean_loop();
+        let i = m2.func.new_reg(RegClass::Int);
+        m2.func
+            .block_mut(ilpc_ir::BlockId(2))
+            .insts
+            .push(Inst::mov(i, Operand::ImmI(0)));
+        m2.func.block_mut(ilpc_ir::BlockId(2)).insts.push(Inst::halt());
+        let diags2 = lint_module(&m2);
+        assert!(
+            diags2.iter().any(|d| d.lint_id == "unreachable-code"),
+            "{diags2:?}"
+        );
+    }
+
+    #[test]
+    fn structural_errors_come_through_with_codes() {
+        let mut m = clean_loop();
+        m.func.block_mut(ilpc_ir::BlockId(1)).insts[3].target = Some(ilpc_ir::BlockId(7777));
+        let diags = lint_module(&m);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.lint_id == "dangling-target" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn empty_function_is_lintable() {
+        let m = Module::new("empty");
+        let diags = lint_module(&m);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

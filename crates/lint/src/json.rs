@@ -1,6 +1,8 @@
-//! Minimal JSON for the serve protocol — the workspace is hermetic
-//! (no serde), and the protocol needs only objects, arrays, strings,
-//! numbers, booleans and null.
+//! Minimal JSON shared by the lint diagnostics writer and the serve
+//! protocol — the workspace is hermetic (no serde), and both consumers
+//! need only objects, arrays, strings, numbers, booleans and null.
+//! (`ilpc-serve` re-exports this module; it lives here so diagnostics
+//! and the wire format share one codec without a dependency cycle.)
 //!
 //! The parser is recursive-descent with a hard depth limit (a hostile
 //! `[[[[…` line must not blow the stack of a serving process) and
@@ -53,6 +55,13 @@ impl Json {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }

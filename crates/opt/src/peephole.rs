@@ -75,7 +75,7 @@ pub fn fold_add_chains(f: &mut Function) -> bool {
 mod tests {
     use super::*;
     use ilpc_ir::inst::Inst;
-    use ilpc_ir::{Reg, RegClass};
+    use ilpc_ir::RegClass;
 
     #[test]
     fn collapses_unrolled_counter_chain() {

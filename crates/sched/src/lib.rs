@@ -13,4 +13,4 @@ pub mod superblock;
 pub use list::{schedule_insts, schedule_module, BlockSchedule};
 pub use superblock::{form_superblocks, SuperblockConfig, SuperblockReport};
 pub use modulo::{modulo_schedule, pipelinable_loops, ModuloSchedule};
-pub use validate::validate_schedule;
+pub use validate::{validate_schedule, ScheduleViolation};

@@ -186,7 +186,7 @@ pub fn schedule_module(m: &mut Module, machine: &Machine) -> Vec<Option<BlockSch
 mod tests {
     use super::*;
     use ilpc_ir::inst::MemLoc;
-    use ilpc_ir::{Cond, Opcode, Operand, Reg, RegClass, SymId};
+    use ilpc_ir::{Cond, Opcode, Operand, Reg, SymId};
 
     fn live_none(_: BlockId) -> ilpc_analysis::RegSet {
         ilpc_analysis::RegSet::new()

@@ -358,7 +358,7 @@ pub fn pipelinable_loops(m: &Module) -> Vec<(Vec<Inst>, Vec<Reg>)> {
 mod tests {
     use super::*;
     use ilpc_ir::inst::MemLoc;
-    use ilpc_ir::{Cond, Operand, RegClass, SymId};
+    use ilpc_ir::{Cond, Operand, SymId};
 
     /// A dot-product body: the carried fadd forces RecMII = 3 (FP latency).
     #[test]

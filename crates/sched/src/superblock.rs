@@ -204,7 +204,7 @@ pub fn form_superblocks(m: &mut Module, cfg: &SuperblockConfig) -> SuperblockRep
 mod tests {
     use super::*;
     use ilpc_ir::inst::MemLoc;
-    use ilpc_ir::{Cond, Operand, Reg, RegClass};
+    use ilpc_ir::{Cond, Operand, RegClass};
 
     /// 2×-unrolled guarded-update loop (maxval shape).
     fn guarded_loop() -> (Module, BlockId, BlockId) {

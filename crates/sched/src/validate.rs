@@ -11,6 +11,35 @@ use ilpc_analysis::build_block_deps;
 use ilpc_ir::Inst;
 use ilpc_machine::{fu_kind, FuKind, Machine};
 use std::collections::HashMap;
+use std::fmt;
+
+/// One way a schedule can be illegal, with a stable machine-readable
+/// `code` for lint tooling. `Display` prints only the message, so callers
+/// that format the error (guard incidents, property tests) see exactly
+/// the text the old `Result<(), String>` produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleViolation {
+    /// Stable violation class: `sched-length`, `sched-perm`,
+    /// `sched-inst-mismatch`, `sched-time-order`, `sched-width`,
+    /// `sched-branch-slots`, `sched-fu`, `sched-dep-order`,
+    /// `sched-dep-delay`.
+    pub code: &'static str,
+    pub message: String,
+}
+
+impl ScheduleViolation {
+    fn new(code: &'static str, message: String) -> ScheduleViolation {
+        ScheduleViolation { code, message }
+    }
+}
+
+impl fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ScheduleViolation {}
 
 /// Check `sched` against `original` under `machine`; `can_cross` must be
 /// the same speculation policy the scheduler used.
@@ -19,13 +48,17 @@ pub fn validate_schedule(
     sched: &BlockSchedule,
     machine: &Machine,
     can_cross: &dyn Fn(&Inst, &Inst) -> bool,
-) -> Result<(), String> {
+) -> Result<(), ScheduleViolation> {
+    let viol = ScheduleViolation::new;
     let n = original.len();
     if sched.insts.len() != n || sched.times.len() != n || sched.perm.len() != n {
-        return Err(format!(
-            "length mismatch: {} scheduled vs {} original",
-            sched.insts.len(),
-            n
+        return Err(viol(
+            "sched-length",
+            format!(
+                "length mismatch: {} scheduled vs {} original",
+                sched.insts.len(),
+                n
+            ),
         ));
     }
 
@@ -33,18 +66,24 @@ pub fn validate_schedule(
     let mut seen = vec![false; n];
     for (pos, &oi) in sched.perm.iter().enumerate() {
         if oi >= n || seen[oi] {
-            return Err(format!("perm[{pos}] = {oi} is not a permutation"));
+            return Err(viol("sched-perm", format!("perm[{pos}] = {oi} is not a permutation")));
         }
         seen[oi] = true;
         if sched.insts[pos] != original[oi] {
-            return Err(format!("instruction at position {pos} does not match"));
+            return Err(viol(
+                "sched-inst-mismatch",
+                format!("instruction at position {pos} does not match"),
+            ));
         }
     }
 
     // 2. Non-decreasing issue times (in-order issue of the emitted order).
     for w in sched.times.windows(2) {
         if w[1] < w[0] {
-            return Err(format!("issue times decrease: {} then {}", w[0], w[1]));
+            return Err(viol(
+                "sched-time-order",
+                format!("issue times decrease: {} then {}", w[0], w[1]),
+            ));
         }
     }
 
@@ -69,10 +108,13 @@ pub fn validate_schedule(
     }
     for (t, (total, branches, fu)) in &per_cycle {
         if *total > machine.issue_width {
-            return Err(format!("cycle {t}: {total} issues > width"));
+            return Err(viol("sched-width", format!("cycle {t}: {total} issues > width")));
         }
         if *branches > machine.branch_slots {
-            return Err(format!("cycle {t}: {branches} branches > slots"));
+            return Err(viol(
+                "sched-branch-slots",
+                format!("cycle {t}: {branches} branches > slots"),
+            ));
         }
         let limits = [
             machine.fu.int_alu,
@@ -82,7 +124,7 @@ pub fn validate_schedule(
         ];
         for (k, (&used, &lim)) in fu.iter().zip(&limits).enumerate() {
             if used > lim {
-                return Err(format!("cycle {t}: fu class {k}: {used} > {lim}"));
+                return Err(viol("sched-fu", format!("cycle {t}: fu class {k}: {used} > {lim}")));
             }
         }
     }
@@ -97,16 +139,19 @@ pub fn validate_schedule(
     for d in &g.edges {
         let (pf, pt) = (pos_of[d.from], pos_of[d.to]);
         if pf >= pt {
-            return Err(format!(
-                "edge {:?} {}→{} violated in linear order",
-                d.kind, d.from, d.to
+            return Err(viol(
+                "sched-dep-order",
+                format!("edge {:?} {}→{} violated in linear order", d.kind, d.from, d.to),
             ));
         }
         let (tf, tt) = (sched.times[pf], sched.times[pt]);
         if tt < tf + d.min_delay {
-            return Err(format!(
-                "edge {:?} {}→{}: issue {tt} < {tf} + {}",
-                d.kind, d.from, d.to, d.min_delay
+            return Err(viol(
+                "sched-dep-delay",
+                format!(
+                    "edge {:?} {}→{}: issue {tt} < {tf} + {}",
+                    d.kind, d.from, d.to, d.min_delay
+                ),
             ));
         }
     }
@@ -162,6 +207,7 @@ mod tests {
         let mut s = schedule_insts(&body, &m, &|_| ilpc_analysis::RegSet::new());
         s.times = vec![0, 0, 0, 0];
         let e = validate_schedule(&body, &s, &m, &allow_all).unwrap_err();
-        assert!(e.contains("issues > width"), "{e}");
+        assert_eq!(e.code, "sched-width");
+        assert!(e.message.contains("issues > width"), "{e}");
     }
 }

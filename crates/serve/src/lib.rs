@@ -10,7 +10,7 @@
 //! See `crates/serve/src/proto.rs` for the wire format and DESIGN.md §15
 //! for the full protocol contract.
 
-pub mod json;
+pub use ilpc_lint::json;
 pub mod proto;
 pub mod server;
 

@@ -81,8 +81,9 @@ pub struct Request {
 #[derive(Debug, Clone)]
 pub enum Op {
     /// Compile one (workload, level, width) point under the guard and
-    /// report achieved level + typed incidents.
-    Compile { workload: String, level: Level, width: u32, scale: f64 },
+    /// report achieved level + typed incidents. With `lint`, the reply
+    /// also carries the `ilpc-lint` audit of the compiled artifact.
+    Compile { workload: String, level: Level, width: u32, scale: f64, lint: bool },
     /// Compile + simulate + differentially verify one point.
     Simulate { workload: String, level: Level, width: u32, scale: f64, mem: MemConfig },
     /// Multi-scenario sweep over the whole catalog on the work-stealing
@@ -113,7 +114,13 @@ fn parse_request_inner(v: &Json, in_batch: bool) -> Result<Request, ReqError> {
     let op = match op {
         "compile" => {
             let (workload, level, width, scale) = point_fields(v)?;
-            Op::Compile { workload, level, width, scale }
+            let lint = match v.get("lint") {
+                None => false,
+                Some(l) => l
+                    .as_bool()
+                    .ok_or_else(|| bad("\"lint\" must be a boolean"))?,
+            };
+            Op::Compile { workload, level, width, scale, lint }
         }
         "simulate" => {
             let (workload, level, width, scale) = point_fields(v)?;

@@ -226,7 +226,7 @@ fn handle_job(engine: &Engine, req: &Request) -> String {
 
 fn handle_op(engine: &Engine, op: &Op) -> Result<Json, (ErrorKind, String)> {
     match op {
-        Op::Compile { workload, level, width, scale } => {
+        Op::Compile { workload, level, width, scale, lint } => {
             let w = find_workload(workload, *scale)?;
             let machine = Machine::issue(*width);
             let g = ilpc_harness::compile_guarded(
@@ -251,7 +251,7 @@ fn handle_op(engine: &Engine, op: &Op) -> Result<Json, (ErrorKind, String)> {
                     ])
                 })
                 .collect();
-            Ok(obj([
+            let mut reply = obj([
                 ("workload", Json::str(workload.as_str())),
                 ("level", Json::str(level.name())),
                 ("width", Json::num(*width)),
@@ -266,7 +266,30 @@ fn handle_op(engine: &Engine, op: &Op) -> Result<Json, (ErrorKind, String)> {
                 ),
                 ("clean", Json::Bool(g.guard.clean())),
                 ("incidents", Json::Arr(incidents)),
-            ]))
+            ]);
+            if *lint {
+                let mut diags = ilpc_lint::lint_module(&g.compiled.module);
+                diags.extend(ilpc_lint::audit_schedules(
+                    &g.compiled.module,
+                    &g.compiled.schedules,
+                    &machine,
+                ));
+                ilpc_lint::sort_diagnostics(&mut diags);
+                let count = |s| ilpc_lint::count_severity(&diags, s) as f64;
+                let audit = obj([
+                    ("errors", Json::num(count(ilpc_lint::Severity::Error))),
+                    ("warnings", Json::num(count(ilpc_lint::Severity::Warning))),
+                    ("notes", Json::num(count(ilpc_lint::Severity::Note))),
+                    (
+                        "diags",
+                        Json::Arr(diags.iter().map(|d| d.to_json()).collect()),
+                    ),
+                ]);
+                if let Json::Obj(fields) = &mut reply {
+                    fields.insert("lint".to_string(), audit);
+                }
+            }
+            Ok(reply)
         }
         Op::Simulate { workload, level, width, scale, mem } => {
             let w = find_workload(workload, *scale)?;

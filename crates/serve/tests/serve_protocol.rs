@@ -193,6 +193,38 @@ fn batch_requests_reply_in_order_with_isolated_failures() {
     assert_eq!(inner[2].get("ok"), Some(&Json::Bool(true)));
 }
 
+/// `compile` with `"lint": true` attaches the static audit to the reply;
+/// a healthy point is free of error-severity findings, and without the
+/// flag the reply shape is unchanged.
+#[test]
+fn compile_with_lint_attaches_clean_audit() {
+    let script = [
+        r#"{"id":"l","op":"compile","workload":"dotprod","level":"Lev4","width":8,"scale":0.02,"lint":true}"#,
+        r#"{"id":"n","op":"compile","workload":"dotprod","level":"Lev4","width":8,"scale":0.02}"#,
+    ]
+    .join("\n");
+    let replies = index_replies(&serve_script(&cfg_small(), &script));
+    assert_eq!(replies.len(), 2);
+
+    let (_, ok, r) = replies.iter().find(|(id, _, _)| *id == Json::str("l")).unwrap();
+    assert!(ok, "{r:?}");
+    assert_eq!(r.get("achieved").and_then(Json::as_str), Some("Lev4"));
+    let lint = r.get("lint").expect("lint audit attached");
+    assert_eq!(lint.get("errors").and_then(Json::as_u64), Some(0), "{lint:?}");
+    let diags = lint.get("diags").and_then(Json::as_arr).unwrap();
+    let warnings = lint.get("warnings").and_then(Json::as_u64).unwrap();
+    let notes = lint.get("notes").and_then(Json::as_u64).unwrap();
+    assert_eq!(diags.len() as u64, warnings + notes);
+    for d in diags {
+        assert!(d.get("lint").and_then(Json::as_str).is_some(), "{d:?}");
+        assert!(d.get("severity").and_then(Json::as_str).is_some(), "{d:?}");
+    }
+
+    let (_, ok, r) = replies.iter().find(|(id, _, _)| *id == Json::str("n")).unwrap();
+    assert!(ok, "{r:?}");
+    assert!(r.get("lint").is_none(), "lint must be opt-in: {r:?}");
+}
+
 /// Two concurrent TCP clients with interleaved traffic: each receives
 /// exactly the replies to its own requests.
 #[test]

@@ -36,8 +36,8 @@ echo "ok: all Cargo.toml dependencies are workspace-local (ilpc-*)"
 echo "== offline release build =="
 cargo build --release --offline
 
-echo "== offline workspace check (incl. benches) =="
-cargo check --workspace --all-targets --offline
+echo "== offline workspace check (incl. benches, warnings are errors) =="
+RUSTFLAGS="-D warnings" cargo check --workspace --all-targets --offline
 
 echo "== offline test suite =="
 cargo test -q --offline
@@ -59,6 +59,13 @@ echo "== fault-injection campaign smoke =="
 # and self-checking: the bin exits nonzero if any fault silently escapes
 # (wrong architectural results with nothing flagged).
 cargo run --release --offline -p ilpc-harness --bin fault-campaign -- --quick --seed 7
+
+echo "== static lint audit (reduced grid) =="
+# The static legality analyzer over the healthy pipeline: all 40 workloads
+# at every level, audited module-by-module (dataflow lints + schedule
+# audit). Exits nonzero on any error-severity diagnostic — healthy
+# artifacts must be lint-clean.
+cargo run --release --offline -p ilpc-harness --bin ilpc-lint -- --quick --scale 0.02
 
 echo "== ilpc-serve smoke (JSON-lines over stdin) =="
 # The evaluation service end-to-end: three requests — a simulate, a

@@ -29,6 +29,7 @@ pub use ilpc_core as core_transforms;
 pub use ilpc_guard as guard;
 pub use ilpc_harness as harness;
 pub use ilpc_ir as ir;
+pub use ilpc_lint as lint;
 pub use ilpc_machine as machine;
 pub use ilpc_mem as mem;
 pub use ilpc_opt as opt;
@@ -54,6 +55,7 @@ pub mod prelude {
     pub use ilpc_ir::interp::{interpret, DataInit};
     pub use ilpc_ir::lower::lower;
     pub use ilpc_ir::{ArrayVal, Cond, Module, Value};
+    pub use ilpc_lint::{audit_schedules, lint_module, Diagnostic, Severity};
     pub use ilpc_machine::Machine;
     pub use ilpc_mem::{CacheParams, MemConfig, MemModel, MemStats};
     pub use ilpc_workloads::{build, build_all, table2, LoopType, Workload};
