@@ -10,23 +10,15 @@ use ilpc_ir::{BlockId, Function, Reg, RegClass};
 /// Definition and use counts per register.
 #[derive(Debug, Clone)]
 pub struct DefUse {
-    defs: [Vec<u32>; 2],
-    uses: [Vec<u32>; 2],
+    defs: [Vec<u32>; 3],
+    uses: [Vec<u32>; 3],
 }
 
 impl DefUse {
     /// Compute counts over the whole function.
     pub fn compute(f: &Function) -> DefUse {
-        let mut du = DefUse {
-            defs: [
-                vec![0; f.vreg_count(RegClass::Int) as usize],
-                vec![0; f.vreg_count(RegClass::Flt) as usize],
-            ],
-            uses: [
-                vec![0; f.vreg_count(RegClass::Int) as usize],
-                vec![0; f.vreg_count(RegClass::Flt) as usize],
-            ],
-        };
+        let counts = RegClass::ALL.map(|c| vec![0; f.vreg_count(c) as usize]);
+        let mut du = DefUse { defs: counts.clone(), uses: counts };
         for (_, inst) in f.insts() {
             if let Some(d) = inst.def() {
                 du.defs[d.class.index()][d.id as usize] += 1;

@@ -146,17 +146,11 @@ pub fn build_block_deps(
                 if !mi.may_alias(&mj) {
                     continue;
                 }
-                match (ii.op, ij.op) {
-                    (Opcode::Store, Opcode::Load) => {
-                        g.add(i, j, DepKind::MemFlow, 1)
-                    }
-                    (Opcode::Load, Opcode::Store) => {
-                        g.add(i, j, DepKind::MemAnti, 0)
-                    }
-                    (Opcode::Store, Opcode::Store) => {
-                        g.add(i, j, DepKind::MemOutput, 0)
-                    }
-                    _ => {} // load/load: no constraint
+                match (ii.op.is_mem_write(), ij.op.is_mem_write()) {
+                    (true, false) => g.add(i, j, DepKind::MemFlow, 1),
+                    (false, true) => g.add(i, j, DepKind::MemAnti, 0),
+                    (true, true) => g.add(i, j, DepKind::MemOutput, 0),
+                    (false, false) => {} // read/read: no constraint
                 }
             }
         }
@@ -175,9 +169,8 @@ pub fn build_block_deps(
                     let pinned = match ii.op {
                         // Branches stay ordered among themselves; stores may
                         // not sink below a branch (they would be skipped).
-                        Opcode::Br(_) | Opcode::Jump | Opcode::Halt | Opcode::Store => {
-                            true
-                        }
+                        Opcode::Br(_) | Opcode::Jump | Opcode::Halt | Opcode::Store
+                        | Opcode::VStore => true,
                         // A register write needed on the taken path may not
                         // sink below the branch. The policy callback answers
                         // "may `ii` cross `ij`?" for sinking as well.

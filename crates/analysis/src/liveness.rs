@@ -22,7 +22,11 @@ impl Liveness {
     /// Compute liveness for `f`.
     pub fn compute(f: &Function) -> Liveness {
         let n = f.num_blocks();
-        let caps = [f.vreg_count(RegClass::Int), f.vreg_count(RegClass::Flt)];
+        let caps = [
+            f.vreg_count(RegClass::Int),
+            f.vreg_count(RegClass::Flt),
+            f.vreg_count(RegClass::Vec),
+        ];
 
         // gen/kill per block.
         let mut gen = vec![RegSet::with_capacity(caps); n];

@@ -8,11 +8,11 @@
 
 use ilpc_ir::{Reg, RegClass};
 
-/// A set of virtual registers, represented as two bit vectors (one per
-/// register class).
+/// A set of virtual registers, represented as one bit vector per register
+/// class.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RegSet {
-    words: [Vec<u64>; 2],
+    words: [Vec<u64>; 3],
 }
 
 impl RegSet {
@@ -22,12 +22,9 @@ impl RegSet {
     }
 
     /// Empty set pre-sized for `counts` registers per class.
-    pub fn with_capacity(counts: [u32; 2]) -> RegSet {
+    pub fn with_capacity(counts: [u32; 3]) -> RegSet {
         RegSet {
-            words: [
-                vec![0; (counts[0] as usize + 63) / 64],
-                vec![0; (counts[1] as usize + 63) / 64],
-            ],
+            words: counts.map(|c| vec![0; (c as usize + 63) / 64]),
         }
     }
 
@@ -68,7 +65,7 @@ impl RegSet {
     /// `self |= other`; returns true if `self` changed.
     pub fn union_with(&mut self, other: &RegSet) -> bool {
         let mut changed = false;
-        for c in 0..2 {
+        for c in 0..3 {
             let (dst, src) = (&mut self.words[c], &other.words[c]);
             if dst.len() < src.len() {
                 dst.resize(src.len(), 0);
@@ -86,7 +83,7 @@ impl RegSet {
     /// This is the liveness transfer `in = gen ∪ (out − kill)` inner step.
     pub fn union_with_minus(&mut self, other: &RegSet, minus: &RegSet) -> bool {
         let mut changed = false;
-        for c in 0..2 {
+        for c in 0..3 {
             let dst = &mut self.words[c];
             let src = &other.words[c];
             if dst.len() < src.len() {

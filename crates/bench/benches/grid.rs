@@ -202,6 +202,41 @@ fn bench_sweep_engines(h: &mut Harness) {
     });
 }
 
+fn bench_vlen_sweep(h: &mut Harness) {
+    // The vectorization axis: Conv/Lev4/Lev6 across VLEN {1, 4, 8}
+    // scenarios on one pool. VLEN is compile-relevant (it sits in the
+    // compile key), so unlike the memory sweep every scenario compiles
+    // its own artifacts — the pre-warmed cache serves all of them and the
+    // measured quantity is scheduling + vector simulation. `elems` counts
+    // evaluated points, comparable with the other `sweep/*` entries.
+    let scale = 0.02;
+    let levels = vec![Level::Conv, Level::Lev4, Level::Lev6];
+    let widths = vec![1u32, 8];
+    let scenarios: Vec<Scenario> = [1u32, 4, 8].iter().map(|&v| Scenario::vlen(v)).collect();
+    let points = (40 * levels.len() * widths.len() * scenarios.len()) as u64;
+
+    let artifacts = Arc::new(ArtifactCache::new());
+    let cfg = SweepConfig {
+        scale,
+        levels,
+        widths,
+        threads: 4,
+        scenarios,
+        sabotage: None,
+        artifacts: Some(Arc::clone(&artifacts)),
+    };
+    let warm = run_sweep(&cfg).expect("sweep config rejected");
+    assert_eq!(warm.total_errors(), 0);
+
+    h.bench_elems("sweep/vlen", points, || {
+        let sweep = run_sweep(&cfg).expect("sweep config rejected");
+        assert_eq!(sweep.total_errors(), 0);
+        let completed: usize = sweep.grids.iter().map(|g| g.completed()).sum();
+        assert_eq!(completed as u64, points);
+        completed
+    });
+}
+
 fn main() {
     // Pin the output location: BENCH_grid.json always lands at the repo
     // root, not wherever cargo happens to set the cwd.
@@ -212,5 +247,6 @@ fn main() {
     bench_sim_throughput(&mut h);
     bench_artifact_sweep(&mut h);
     bench_sweep_engines(&mut h);
+    bench_vlen_sweep(&mut h);
     h.finish();
 }

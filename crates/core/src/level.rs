@@ -6,6 +6,9 @@
 //! * **Lev3** — Lev2 + operation combining, strength reduction, tree height
 //!   reduction.
 //! * **Lev4** — Lev3 + accumulator / induction / search variable expansion.
+//! * **Lev6** — Lev4 + SLP vectorization (`ilpc-vec`). The `Lev5` name is
+//!   reserved for software pipelining per the roadmap; the vector level
+//!   keeps its roadmap designation so grid artifacts stay comparable.
 //!
 //! "Each successive level includes all transformations from previous
 //! levels."
@@ -30,12 +33,19 @@ pub enum Level {
     Lev2,
     Lev3,
     Lev4,
+    Lev6,
 }
 
 impl Level {
     /// All levels, in increasing order.
-    pub const ALL: [Level; 5] =
-        [Level::Conv, Level::Lev1, Level::Lev2, Level::Lev3, Level::Lev4];
+    pub const ALL: [Level; 6] = [
+        Level::Conv,
+        Level::Lev1,
+        Level::Lev2,
+        Level::Lev3,
+        Level::Lev4,
+        Level::Lev6,
+    ];
 
     /// Paper-style short name.
     pub fn name(self) -> &'static str {
@@ -45,6 +55,7 @@ impl Level {
             Level::Lev2 => "Lev2",
             Level::Lev3 => "Lev3",
             Level::Lev4 => "Lev4",
+            Level::Lev6 => "Lev6",
         }
     }
 }
@@ -68,6 +79,8 @@ pub struct TransformReport {
     pub accumulators_expanded: usize,
     pub inductions_expanded: usize,
     pub searches_expanded: usize,
+    pub packs_formed: usize,
+    pub stmts_vectorized: usize,
 }
 
 /// One named step of the level pipeline.
@@ -174,6 +187,19 @@ pub const PASSES: &[Pass] = &[
         run: |m, _, rep| rep.trees_reduced += tree_height_reduce(m),
     },
     Pass { name: "lev4-dce", level: Level::Lev4, run: |m, _, _| { dce(&mut m.func); } },
+    // SLP vectorization packs the isomorphic statement groups the unroll +
+    // rename + expansion ladder manufactures. A no-op when `ucfg.vlen <= 1`,
+    // which keeps Lev6/VLEN=1 bit-identical to Lev4.
+    Pass {
+        name: "slp-vectorize",
+        level: Level::Lev6,
+        run: |m, ucfg, rep| {
+            let r = ilpc_vec::slp_vectorize(m, ucfg.vlen);
+            rep.packs_formed += r.packs_formed;
+            rep.stmts_vectorized += r.stmts_vectorized;
+        },
+    },
+    Pass { name: "slp-dce", level: Level::Lev6, run: |m, _, _| { dce(&mut m.func); } },
 ];
 
 /// The passes `level` runs, in execution order.
@@ -237,7 +263,7 @@ mod tests {
                 }
                 Level::Lev2 => assert!(rep.defs_renamed > 0),
                 Level::Lev3 => assert!(rep.defs_renamed > 0),
-                Level::Lev4 => {
+                Level::Lev4 | Level::Lev6 => {
                     assert!(
                         rep.accumulators_expanded >= 1,
                         "dot product accumulator must expand: {rep:?}"
@@ -246,6 +272,10 @@ mod tests {
                         rep.inductions_expanded >= 1,
                         "unrolled index chain must expand: {rep:?}"
                     );
+                    if level == Level::Lev6 {
+                        // Default config has vlen=1: SLP must stay silent.
+                        assert_eq!(rep.packs_formed, 0);
+                    }
                 }
             }
         }
@@ -285,7 +315,7 @@ mod tests {
             assert!(n > prev, "{level}: {n} passes, previous level had {prev}");
             prev = n;
         }
-        assert_eq!(passes(Level::Lev4).count(), PASSES.len());
+        assert_eq!(passes(Level::Lev6).count(), PASSES.len());
         // Driving the pass table by hand reproduces apply_level exactly.
         let mut via_table = lower(&dotprod());
         let mut rep_table = TransformReport::default();
@@ -319,6 +349,8 @@ mod tests {
     fn level_ordering() {
         assert!(Level::Conv < Level::Lev1);
         assert!(Level::Lev3 < Level::Lev4);
+        assert!(Level::Lev4 < Level::Lev6);
         assert_eq!(Level::Lev2.name(), "Lev2");
+        assert_eq!(Level::Lev6.name(), "Lev6");
     }
 }

@@ -47,11 +47,15 @@ pub struct UnrollConfig {
     /// Maximum unrolled body size in IR instructions (the paper's "maximum
     /// loop body size" cap).
     pub max_body_insts: usize,
+    /// Target vector length for SLP vectorization (Lev6). `1` disables
+    /// packing; the harness threads `Machine::vlen` through here so the
+    /// compiled artifact matches the machine it is keyed to.
+    pub vlen: u32,
 }
 
 impl Default for UnrollConfig {
     fn default() -> UnrollConfig {
-        UnrollConfig { max_factor: 8, max_body_insts: 256 }
+        UnrollConfig { max_factor: 8, max_body_insts: 256, vlen: 1 }
     }
 }
 
@@ -340,7 +344,7 @@ mod tests {
         conventional(&mut l.module);
         let results = unroll_inner_loops(
             &mut l.module,
-            &UnrollConfig { max_factor: 3, max_body_insts: 256 },
+            &UnrollConfig { max_factor: 3, ..Default::default() },
         );
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].factor, 3);
@@ -427,7 +431,7 @@ mod tests {
         conventional(&mut l.module);
         let r = unroll_inner_loops(
             &mut l.module,
-            &UnrollConfig { max_factor: 8, max_body_insts: 150 },
+            &UnrollConfig { max_body_insts: 150, ..Default::default() },
         );
         assert_eq!(r.len(), 1);
         assert!(r[0].factor < 8, "factor {} should be capped", r[0].factor);

@@ -18,6 +18,7 @@
 //! | `DropEdge`     | verifier / simulator / differential                |
 //! | `AliasTag`     | differential after scheduling (or timing-benign)   |
 //! | `ExtDisp`      | differential (wrong address)                       |
+//! | `VecLane`      | verifier (`lane-count`) / differential             |
 //! | `ProbMeta`     | benign for correctness (performance metadata only) |
 
 use ilpc_ir::{BlockId, Inst, MemLoc, Module, Opcode, Operand, Reg, RegClass};
@@ -39,19 +40,22 @@ pub enum FaultKind {
     AliasTag,
     /// Corrupt a load/store constant addressing displacement.
     ExtDisp,
+    /// Corrupt the lane count of a vector (SLP) instruction.
+    VecLane,
     /// Corrupt branch-probability metadata (drives superblock selection).
     ProbMeta,
 }
 
 impl FaultKind {
     /// Every fault class, in stable order.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::OperandSwap,
         FaultKind::OpcodeFlip,
         FaultKind::RegClassFlip,
         FaultKind::DropEdge,
         FaultKind::AliasTag,
         FaultKind::ExtDisp,
+        FaultKind::VecLane,
         FaultKind::ProbMeta,
     ];
 
@@ -64,6 +68,7 @@ impl FaultKind {
             FaultKind::DropEdge => "drop-edge",
             FaultKind::AliasTag => "alias-tag",
             FaultKind::ExtDisp => "ext-disp",
+            FaultKind::VecLane => "vec-lane",
             FaultKind::ProbMeta => "prob-meta",
         }
     }
@@ -171,6 +176,9 @@ pub fn inject(m: &mut Module, kind: FaultKind, rng: &mut TestRng) -> Option<Faul
                 class: match r.class {
                     RegClass::Int => RegClass::Flt,
                     RegClass::Flt => RegClass::Int,
+                    // A vector register misread as scalar float — the
+                    // closest analogue of a truncated class byte.
+                    RegClass::Vec => RegClass::Flt,
                 },
                 ..r
             };
@@ -236,6 +244,22 @@ pub fn inject(m: &mut Module, kind: FaultKind, rng: &mut TestRng) -> Option<Faul
             inst.ext = inst.ext.wrapping_add(delta);
             Some(fault(b, idx, format!("displacement skewed by {delta}")))
         }
+        FaultKind::VecLane => {
+            // Any lanes-carrying instruction: result is vector, or the op
+            // consumes one (vreduce/vstore).
+            let cand = sites(m, |i| i.lanes > 1);
+            let (b, idx) = pick(rng, &cand)?;
+            let inst = &mut m.func.block_mut(b).insts[idx];
+            let old = inst.lanes;
+            // Pick a different count in 1..=MAX_VLEN so vld/vst widths and
+            // ALU lane counts disagree with their tags and neighbours.
+            let mut lanes = rng.gen_range(1..ilpc_ir::inst::MAX_VLEN as usize + 1) as u8;
+            if lanes == old {
+                lanes = if lanes == 1 { 2 } else { lanes - 1 };
+            }
+            inst.lanes = lanes;
+            Some(fault(b, idx, format!("lane count {old} -> {lanes}")))
+        }
         FaultKind::ProbMeta => {
             let cand = sites(m, |i| i.op.is_branch());
             let (b, idx) = pick(rng, &cand)?;
@@ -275,6 +299,7 @@ mod tests {
             Inst::alu(Opcode::Add, i, i.into(), Operand::ImmI(1)),
             Inst::br(Cond::Lt, i.into(), Operand::ImmI(8), body),
         ]);
+        let v = f.new_reg(RegClass::Vec);
         f.block_mut(exit).insts.extend([
             Inst::store(
                 Operand::Sym(out),
@@ -282,6 +307,8 @@ mod tests {
                 s.into(),
                 MemLoc::affine(out, 0, 0),
             ),
+            Inst::vload(v, Operand::Sym(a), Operand::ImmI(0), MemLoc::affine(a, 1, 0), 2),
+            Inst::vstore(Operand::Sym(a), Operand::ImmI(4), v.into(), MemLoc::affine(a, 1, 4), 2),
             Inst::halt(),
         ]);
         m

@@ -6,6 +6,8 @@
 //! ilpc run   <loop> [--level L] [--width W] # compile + simulate + verify
 //! ilpc trace <loop> [--level L] [--width W] # per-instruction issue times
 //! ilpc exec  <file.ilpc> [--width W]        # simulate a text-format module
+//!
+//! `--level lev6 --vlen N` compiles through the SLP vectorizer.
 //! ```
 //!
 //! The `emit`/`exec` pair round-trips through the stable text format of
@@ -24,6 +26,7 @@ struct Args {
     target: Option<String>,
     level: Level,
     width: u32,
+    vlen: u32,
     scale: f64,
 }
 
@@ -37,6 +40,7 @@ fn parse_args() -> Args {
         target: None,
         level: Level::Lev4,
         width: 8,
+        vlen: 1,
         scale: 1.0,
     };
     let mut k = 1;
@@ -49,6 +53,7 @@ fn parse_args() -> Args {
                     "lev2" | "Lev2" => Level::Lev2,
                     "lev3" | "Lev3" => Level::Lev3,
                     "lev4" | "Lev4" => Level::Lev4,
+                    "lev6" | "Lev6" => Level::Lev6,
                     other => die(&format!("unknown level {other}")),
                 };
                 k += 2;
@@ -57,6 +62,13 @@ fn parse_args() -> Args {
                 args.width = argv[k + 1].parse().unwrap_or_else(|_| die("bad width"));
                 if args.width == 0 {
                     die("width must be at least 1");
+                }
+                k += 2;
+            }
+            "--vlen" => {
+                args.vlen = argv[k + 1].parse().unwrap_or_else(|_| die("bad vlen"));
+                if args.vlen == 0 {
+                    die("vlen must be at least 1");
                 }
                 k += 2;
             }
@@ -77,7 +89,7 @@ fn parse_args() -> Args {
 fn usage() -> ! {
     eprintln!(
         "usage: ilpc <list|emit|run|trace|exec> [target] \
-         [--level conv|lev1..lev4] [--width N] [--scale S]"
+         [--level conv|lev1..lev4|lev6] [--width N] [--vlen N] [--scale S]"
     );
     std::process::exit(2);
 }
@@ -98,7 +110,7 @@ fn workload(args: &Args) -> ilpc_workloads::Workload {
 
 fn main() {
     let args = parse_args();
-    let machine = Machine::issue(args.width);
+    let machine = Machine::issue(args.width).with_vlen(args.vlen);
     match args.cmd.as_str() {
         "list" => {
             println!(
@@ -133,8 +145,8 @@ fn main() {
                     println!("cycles:        {}", p.cycles);
                     println!("dyn insts:     {}", p.dyn_insts);
                     println!("ipc:           {:.2}", p.dyn_insts as f64 / p.cycles as f64);
-                    println!("registers:     {} ({} int + {} flt)",
-                        p.regs.total(), p.regs.int, p.regs.flt);
+                    println!("registers:     {} ({} int + {} flt + {} vec)",
+                        p.regs.total(), p.regs.int, p.regs.flt, p.regs.vec);
                     println!("static insts:  {}", p.static_insts);
                     println!("transforms:    {:?}", c.report);
                     println!("verified:      results match the AST interpreter");

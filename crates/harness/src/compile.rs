@@ -63,7 +63,8 @@ fn finish(
 pub fn compile(w: &Workload, level: Level, machine: &Machine) -> Compiled {
     let lowered = lower(&w.program);
     let mut module = lowered.module;
-    let report = apply_level(&mut module, level, &UnrollConfig::default());
+    let ucfg = UnrollConfig { vlen: machine.vlen, ..Default::default() };
+    let report = apply_level(&mut module, level, &ucfg);
     finish(module, lowered.shadow_syms, report, machine)
 }
 
@@ -71,7 +72,8 @@ pub fn compile(w: &Workload, level: Level, machine: &Machine) -> Compiled {
 pub fn compile_set(w: &Workload, set: &TransformSet, machine: &Machine) -> Compiled {
     let lowered = lower(&w.program);
     let mut module = lowered.module;
-    let report = apply_set(&mut module, set, &UnrollConfig::default());
+    let ucfg = UnrollConfig { vlen: machine.vlen, ..Default::default() };
+    let report = apply_set(&mut module, set, &ucfg);
     finish(module, lowered.shadow_syms, report, machine)
 }
 
@@ -148,7 +150,8 @@ pub fn compile_guarded(
     }
 
     let mut module = lowered.module;
-    let report = guarded_apply_level(&mut module, level, &UnrollConfig::default(), &mut guard);
+    let ucfg = UnrollConfig { vlen: machine.vlen, ..Default::default() };
+    let report = guarded_apply_level(&mut module, level, &ucfg, &mut guard);
 
     let mut superblocks = SuperblockReport::default();
     let kept = guard.step(&mut module, "superblock-formation", |m| {

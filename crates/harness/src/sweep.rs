@@ -29,24 +29,36 @@ use ilpc_machine::{LatencyTable, Machine, MemConfig, TABLE1};
 use ilpc_workloads::{build_all, Workload, WorkloadMeta};
 use std::sync::Arc;
 
-/// One scenario of a sweep: a memory hierarchy plus a latency table.
+/// One scenario of a sweep: a memory hierarchy, a latency table, and a
+/// vector length for the SLP subsystem.
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Display label (defaults to the memory config's name).
     pub label: String,
     pub mem: MemConfig,
     pub latency: LatencyTable,
+    /// Vector length handed to the machine (`1` = scalar; only `Lev6`
+    /// reacts to it). Compile-relevant, so each VLEN gets its own
+    /// artifact-cache keys automatically.
+    pub vlen: u32,
 }
 
 impl Scenario {
     /// A scenario varying only the memory hierarchy (Table 1 latencies).
     pub fn mem(mem: MemConfig) -> Scenario {
-        Scenario { label: mem.name(), mem, latency: TABLE1 }
+        Scenario { label: mem.name(), mem, latency: TABLE1, vlen: 1 }
     }
 
     /// A scenario with an explicit latency table.
     pub fn with_latency(label: impl Into<String>, mem: MemConfig, latency: LatencyTable) -> Scenario {
-        Scenario { label: label.into(), mem, latency }
+        Scenario { label: label.into(), mem, latency, vlen: 1 }
+    }
+
+    /// A scenario varying only the vector length (perfect memory,
+    /// Table 1 latencies) — the axis the `vlen-sweep` harness crosses
+    /// with issue width.
+    pub fn vlen(vlen: u32) -> Scenario {
+        Scenario { label: format!("v{vlen}"), mem: MemConfig::Perfect, latency: TABLE1, vlen }
     }
 }
 
@@ -148,7 +160,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Sweep, GridConfigError> {
             let w = &workloads[wi];
             let machine = Machine {
                 latency: scenario.latency,
-                ..Machine::issue(width).with_mem(scenario.mem)
+                ..Machine::issue(width).with_mem(scenario.mem).with_vlen(scenario.vlen)
             };
             let r = eval_point_contained(
                 w,

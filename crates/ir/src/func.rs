@@ -52,7 +52,7 @@ pub struct Function {
     /// Emission order of blocks. Fall-through goes to the next layout entry.
     pub layout: Vec<BlockId>,
     /// Next fresh virtual register id per class.
-    next_vreg: [u32; 2],
+    next_vreg: [u32; 3],
 }
 
 impl Function {
@@ -62,7 +62,7 @@ impl Function {
             name: name.to_string(),
             blocks: Vec::new(),
             layout: Vec::new(),
-            next_vreg: [0; 2],
+            next_vreg: [0; 3],
         }
     }
 

@@ -94,24 +94,33 @@ pub struct MemLoc {
     /// contributions are structurally identical (same fingerprint); otherwise
     /// the analysis falls back to "may alias".
     pub outer: u64,
+    /// Consecutive elements touched starting at the tagged address: 1 for
+    /// scalar references, the lane count for vector loads/stores. Alias
+    /// tests compare element *intervals*, not single offsets.
+    pub width: u32,
 }
 
 impl MemLoc {
     /// Tag for a reference whose index shape is unknown.
     pub fn opaque(sym: SymId) -> MemLoc {
-        MemLoc { sym, lin: None, outer: 0 }
+        MemLoc { sym, lin: None, outer: 0, width: 1 }
     }
 
     /// Tag for `sym[coef * i + off]` where `i` is the innermost loop counter
     /// and there are no outer-loop index terms.
     pub fn affine(sym: SymId, coef: i64, off: i64) -> MemLoc {
-        MemLoc { sym, lin: Some((coef, off)), outer: 0 }
+        MemLoc { sym, lin: Some((coef, off)), outer: 0, width: 1 }
     }
 
     /// Like [`MemLoc::affine`] but with a fingerprint of the outer-loop
     /// index terms.
     pub fn affine_outer(sym: SymId, coef: i64, off: i64, outer: u64) -> MemLoc {
-        MemLoc { sym, lin: Some((coef, off)), outer }
+        MemLoc { sym, lin: Some((coef, off)), outer, width: 1 }
+    }
+
+    /// This tag widened to `width` consecutive elements (vector access).
+    pub fn with_width(self, width: u32) -> MemLoc {
+        MemLoc { width: width.max(1), ..self }
     }
 
     /// Conservative same-iteration alias test (used for ordering memory
@@ -129,7 +138,10 @@ impl MemLoc {
         match (self.lin, other.lin) {
             (Some((c1, o1)), Some((c2, o2))) => {
                 if c1 == c2 {
-                    o1 == o2
+                    // Same stride: the accesses cover the element intervals
+                    // [o, o + width) each iteration; they collide iff those
+                    // intervals overlap.
+                    o1 < o2 + other.width as i64 && o2 < o1 + self.width as i64
                 } else {
                     // Different strides into the same array: be conservative.
                     true
@@ -149,6 +161,10 @@ impl MemLoc {
     }
 }
 
+/// Maximum lane count a vector instruction may carry (`lanes` field).
+/// Matches the widest VLEN in the evaluation axis (VLEN ∈ {1, 2, 4, 8}).
+pub const MAX_VLEN: u8 = 8;
+
 /// A single IR instruction.
 ///
 /// Operand conventions:
@@ -157,6 +173,8 @@ impl MemLoc {
 /// * `Store`: `MEM[src[0] + src[1]] = src[2]`.
 /// * `Br(c)`: branch to `target` if `src[0] c src[1]`.
 /// * `Jump`: branch to `target`.
+/// * Vector ops additionally carry a live lane count in `lanes`
+///   (2..=[`MAX_VLEN`]); scalar instructions keep `lanes == 1`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Inst {
     pub op: Opcode,
@@ -164,7 +182,7 @@ pub struct Inst {
     pub src: [Operand; 3],
     /// Branch / jump target block.
     pub target: Option<BlockId>,
-    /// Memory disambiguation tag (`Load`/`Store` only).
+    /// Memory disambiguation tag (`Load`/`Store`/`VLoad`/`VStore` only).
     pub mem: Option<MemLoc>,
     /// Probability that a conditional branch is taken, in `[0, 1]`;
     /// populated by the front end and used by superblock trace selection.
@@ -174,6 +192,8 @@ pub struct Inst {
     /// folds `add` instructions feeding an address into this field, giving
     /// the paper's `MEM(r1i + 8)` base+displacement form.
     pub ext: i64,
+    /// Live lane count for vector opcodes; always 1 for scalar opcodes.
+    pub lanes: u8,
 }
 
 impl Inst {
@@ -187,6 +207,7 @@ impl Inst {
             mem: None,
             prob: 0.5,
             ext: 0,
+            lanes: 1,
         }
     }
 
@@ -238,6 +259,54 @@ impl Inst {
         Inst::new(Opcode::Halt)
     }
 
+    /// Lane-wise vector ALU instruction (`VAdd`/`VMul`).
+    pub fn vec_alu(op: Opcode, dst: Reg, a: Operand, b: Operand, lanes: u8) -> Inst {
+        Inst { dst: Some(dst), src: [a, b, Operand::None], lanes, ..Inst::new(op) }
+    }
+
+    /// Broadcast a scalar FP operand into every lane of `dst`.
+    pub fn vsplat(dst: Reg, a: Operand, lanes: u8) -> Inst {
+        Inst {
+            dst: Some(dst),
+            src: [a, Operand::None, Operand::None],
+            lanes,
+            ..Inst::new(Opcode::VSplat)
+        }
+    }
+
+    /// Horizontal sum of the live lanes of `a` into scalar FP `dst`.
+    pub fn vreduce(dst: Reg, a: Operand, lanes: u8) -> Inst {
+        Inst {
+            dst: Some(dst),
+            src: [a, Operand::None, Operand::None],
+            lanes,
+            ..Inst::new(Opcode::VReduce)
+        }
+    }
+
+    /// Vector load `dst[l] = MEM[base + off + l]` for `lanes` consecutive
+    /// elements. The alias tag is widened to cover the element interval.
+    pub fn vload(dst: Reg, base: Operand, off: Operand, mem: MemLoc, lanes: u8) -> Inst {
+        Inst {
+            dst: Some(dst),
+            src: [base, off, Operand::None],
+            mem: Some(mem.with_width(lanes as u32)),
+            lanes,
+            ..Inst::new(Opcode::VLoad)
+        }
+    }
+
+    /// Vector store `MEM[base + off + l] = val[l]` for `lanes` consecutive
+    /// elements. The alias tag is widened to cover the element interval.
+    pub fn vstore(base: Operand, off: Operand, val: Operand, mem: MemLoc, lanes: u8) -> Inst {
+        Inst {
+            src: [base, off, val],
+            mem: Some(mem.with_width(lanes as u32)),
+            lanes,
+            ..Inst::new(Opcode::VStore)
+        }
+    }
+
     /// Registers read by this instruction.
     pub fn uses(&self) -> impl Iterator<Item = Reg> + '_ {
         self.src.iter().filter_map(|o| o.reg())
@@ -265,7 +334,7 @@ impl Inst {
     /// True if this instruction has side effects beyond its register result
     /// (memory writes and control flow), i.e. must not be removed by DCE.
     pub fn has_side_effects(&self) -> bool {
-        matches!(self.op, Opcode::Store) || self.op.is_control()
+        matches!(self.op, Opcode::Store | Opcode::VStore) || self.op.is_control()
     }
 
     /// True if the instruction may be executed speculatively (hoisted above
@@ -273,8 +342,8 @@ impl Inst {
     /// never speculate; loads rely on the machine's non-excepting loads.
     pub fn can_speculate(&self, nonexcepting_loads: bool) -> bool {
         match self.op {
-            Opcode::Store | Opcode::Br(_) | Opcode::Jump | Opcode::Halt => false,
-            Opcode::Load => nonexcepting_loads,
+            Opcode::Store | Opcode::VStore | Opcode::Br(_) | Opcode::Jump | Opcode::Halt => false,
+            Opcode::Load | Opcode::VLoad => nonexcepting_loads,
             // Integer divide/remainder by a non-constant could trap on real
             // hardware; the modeled machine provides non-excepting variants
             // alongside non-excepting loads.
@@ -316,6 +385,37 @@ impl fmt::Display for Inst {
             }
             Opcode::CvtIF | Opcode::CvtFI => {
                 write!(f, "{} = {} {}", self.dst.unwrap(), self.op, self.src[0])
+            }
+            Opcode::VAdd | Opcode::VMul => write!(
+                f,
+                "{} = {} {} {} x{}",
+                self.dst.unwrap(),
+                self.src[0],
+                self.op,
+                self.src[1],
+                self.lanes
+            ),
+            Opcode::VSplat | Opcode::VReduce => write!(
+                f,
+                "{} = {} {} x{}",
+                self.dst.unwrap(),
+                self.op,
+                self.src[0],
+                self.lanes
+            ),
+            Opcode::VLoad => {
+                write!(f, "{} = MEM({} + {}", self.dst.unwrap(), self.src[0], self.src[1])?;
+                if self.ext != 0 {
+                    write!(f, " + {}", self.ext)?;
+                }
+                write!(f, ") x{}", self.lanes)
+            }
+            Opcode::VStore => {
+                write!(f, "MEM({} + {}", self.src[0], self.src[1])?;
+                if self.ext != 0 {
+                    write!(f, " + {}", self.ext)?;
+                }
+                write!(f, ") = {} x{}", self.src[2], self.lanes)
             }
             _ => write!(
                 f,

@@ -148,6 +148,11 @@ impl<'a> LowerCtx<'a> {
                     (BinOp::Rem, RegClass::Flt) => {
                         panic!("float remainder in {}", self.p.name)
                     }
+                    // The AST front end only produces scalar expressions;
+                    // vector IR is manufactured later by the SLP pass.
+                    (_, RegClass::Vec) => {
+                        panic!("vector class in AST lowering of {}", self.p.name)
+                    }
                 };
                 let dst = self.m.func.new_reg(class);
                 self.emit(Inst::alu(opcode, dst, lo, ro));
@@ -405,6 +410,7 @@ pub fn lower(p: &Program) -> Lowered {
         let init = match decl.class {
             RegClass::Int => Operand::ImmI(0),
             RegClass::Flt => Operand::ImmF(0.0),
+            RegClass::Vec => panic!("vector-class AST variable in {}", p.name),
         };
         ctx.emit(Inst::mov(dst, init));
     }

@@ -108,6 +108,19 @@ pub enum Opcode {
     Load,
     /// `MEM[src1 + src2] = src3`.
     Store,
+    // --- vector (SLP, Lev6; lane count carried on the instruction) ---
+    /// Lane-wise FP add: `dst[l] = src1[l] + src2[l]`.
+    VAdd,
+    /// Lane-wise FP multiply: `dst[l] = src1[l] * src2[l]`.
+    VMul,
+    /// Broadcast a scalar FP operand into every lane of `dst`.
+    VSplat,
+    /// Horizontal sum of the live lanes of `src1` into a scalar FP `dst`.
+    VReduce,
+    /// `dst[l] = MEM[src1 + src2 + l]` — `lanes` consecutive elements.
+    VLoad,
+    /// `MEM[src1 + src2 + l] = src3[l]` — `lanes` consecutive elements.
+    VStore,
     // --- control (latency 1, one branch slot per cycle) ---
     /// Conditional branch: compare `src1` and `src2`, jump to `target`.
     Br(Cond),
@@ -130,9 +143,22 @@ impl Opcode {
         matches!(self, Opcode::Br(_) | Opcode::Jump | Opcode::Halt)
     }
 
-    /// True for `Load`/`Store`.
+    /// True for any memory operation, scalar or vector.
     pub fn is_mem(self) -> bool {
-        matches!(self, Opcode::Load | Opcode::Store)
+        matches!(
+            self,
+            Opcode::Load | Opcode::Store | Opcode::VLoad | Opcode::VStore
+        )
+    }
+
+    /// True for memory operations that read memory.
+    pub fn is_mem_read(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::VLoad)
+    }
+
+    /// True for memory operations that write memory.
+    pub fn is_mem_write(self) -> bool {
+        matches!(self, Opcode::Store | Opcode::VStore)
     }
 
     /// Result class of a value-producing opcode, when fixed by the opcode.
@@ -145,7 +171,8 @@ impl Opcode {
             Add | Sub | And | Or | Xor | Shl | Shr | Mul | Div | Rem | CvtFI => {
                 Some(RegClass::Int)
             }
-            FAdd | FSub | FMul | FDiv | CvtIF => Some(RegClass::Flt),
+            FAdd | FSub | FMul | FDiv | CvtIF | VReduce => Some(RegClass::Flt),
+            VAdd | VMul | VSplat | VLoad => Some(RegClass::Vec),
             _ => None,
         }
     }
@@ -153,7 +180,7 @@ impl Opcode {
     /// True for commutative binary operations (`a op b == b op a`).
     pub fn is_commutative(self) -> bool {
         use Opcode::*;
-        matches!(self, Add | Mul | And | Or | Xor | FAdd | FMul)
+        matches!(self, Add | Mul | And | Or | Xor | FAdd | FMul | VAdd | VMul)
     }
 
     /// True if the opcode is an associative chain head usable by tree height
@@ -187,6 +214,12 @@ impl Opcode {
             CvtFI => "cvtfi",
             Load => "ld",
             Store => "st",
+            VAdd => "vadd",
+            VMul => "vmul",
+            VSplat => "vsplat",
+            VReduce => "vreduce",
+            VLoad => "vld",
+            VStore => "vst",
             Br(c) => c.mnemonic(),
             Jump => "jmp",
             Halt => "halt",

@@ -10,33 +10,39 @@ use std::fmt;
 
 /// Register class: the paper's machine has separate integer and floating
 /// point register files (register usage is reported as the *sum* of the two).
+/// The vector extension (SLP, Lev6) adds a third file of short FP vectors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RegClass {
     /// 64-bit integer register (`rNi` in the paper's listings).
     Int,
     /// 64-bit IEEE double register (`rNf` in the paper's listings).
     Flt,
+    /// Short vector of IEEE doubles (`rNv`), up to [`crate::inst::MAX_VLEN`]
+    /// lanes; the live lane count is carried on each instruction.
+    Vec,
 }
 
 impl RegClass {
     /// All register classes, in a fixed order usable for per-class tables.
-    pub const ALL: [RegClass; 2] = [RegClass::Int, RegClass::Flt];
+    pub const ALL: [RegClass; 3] = [RegClass::Int, RegClass::Flt, RegClass::Vec];
 
-    /// Index of this class into per-class tables (`[T; 2]`).
+    /// Index of this class into per-class tables (`[T; 3]`).
     #[inline]
     pub fn index(self) -> usize {
         match self {
             RegClass::Int => 0,
             RegClass::Flt => 1,
+            RegClass::Vec => 2,
         }
     }
 
-    /// One-letter suffix used by the pretty printer (`i` / `f`), matching
-    /// the paper's assembly listings (`r2f`, `r1i`, ...).
+    /// One-letter suffix used by the pretty printer (`i` / `f` / `v`),
+    /// matching the paper's assembly listings (`r2f`, `r1i`, ...).
     pub fn suffix(self) -> char {
         match self {
             RegClass::Int => 'i',
             RegClass::Flt => 'f',
+            RegClass::Vec => 'v',
         }
     }
 }
@@ -46,6 +52,7 @@ impl fmt::Display for RegClass {
         f.write_str(match self {
             RegClass::Int => "int",
             RegClass::Flt => "flt",
+            RegClass::Vec => "vec",
         })
     }
 }
@@ -70,6 +77,12 @@ impl Reg {
     #[inline]
     pub fn flt(id: u32) -> Reg {
         Reg { id, class: RegClass::Flt }
+    }
+
+    /// Construct a vector register.
+    #[inline]
+    pub fn vec(id: u32) -> Reg {
+        Reg { id, class: RegClass::Vec }
     }
 
     /// True if this register is in the integer file.

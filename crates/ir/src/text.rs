@@ -89,13 +89,22 @@ fn inst_to_text(i: &Inst) -> String {
     if i.ext != 0 {
         let _ = write!(s, ", ext={}", i.ext);
     }
+    if i.lanes != 1 {
+        let _ = write!(s, ", lanes={}", i.lanes);
+    }
     if let Some(m) = i.mem {
         match m.lin {
             Some((c, o)) => {
                 let _ = write!(s, ", tag={}:{}:{}:{}", m.sym.0, c, o, m.outer);
+                if m.width != 1 {
+                    let _ = write!(s, ":{}", m.width);
+                }
             }
             None => {
                 let _ = write!(s, ", tag={}:?", m.sym.0);
+                if m.width != 1 {
+                    let _ = write!(s, ":{}", m.width);
+                }
             }
         }
     }
@@ -155,6 +164,7 @@ fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
     let (digits, class) = match body.chars().last() {
         Some('i') => (&body[..body.len() - 1], RegClass::Int),
         Some('f') => (&body[..body.len() - 1], RegClass::Flt),
+        Some('v') => (&body[..body.len() - 1], RegClass::Vec),
         _ => return err(line, format!("bad register class in {tok}")),
     };
     let id: u32 = digits
@@ -184,6 +194,12 @@ fn opcode_of(mn: &str, line: usize) -> Result<Opcode, ParseError> {
         "cvtfi" => Opcode::CvtFI,
         "ld" => Opcode::Load,
         "st" => Opcode::Store,
+        "vadd" => Opcode::VAdd,
+        "vmul" => Opcode::VMul,
+        "vsplat" => Opcode::VSplat,
+        "vreduce" => Opcode::VReduce,
+        "vld" => Opcode::VLoad,
+        "vst" => Opcode::VStore,
         "beq" => Opcode::Br(Cond::Eq),
         "bne" => Opcode::Br(Cond::Ne),
         "blt" => Opcode::Br(Cond::Lt),
@@ -211,6 +227,10 @@ fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseError> {
             inst.ext = v
                 .parse()
                 .map_err(|_| ParseError { line, message: format!("bad ext {v}") })?;
+        } else if let Some(v) = tok.strip_prefix("lanes=") {
+            inst.lanes = v
+                .parse()
+                .map_err(|_| ParseError { line, message: format!("bad lanes {v}") })?;
         } else if let Some(v) = tok.strip_prefix("prob=") {
             inst.prob = v
                 .parse()
@@ -221,16 +241,25 @@ fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseError> {
                 line,
                 message: format!("bad tag {v}"),
             })?);
-            inst.mem = Some(if parts.len() == 2 && parts[1] == "?" {
-                MemLoc::opaque(sym)
-            } else if parts.len() == 4 {
+            inst.mem = Some(if parts.len() >= 2 && parts[1] == "?" {
+                let mut loc = MemLoc::opaque(sym);
+                if parts.len() == 3 {
+                    loc = loc.with_width(parts[2].parse().map_err(|_| ParseError {
+                        line,
+                        message: format!("bad tag {v}"),
+                    })?);
+                } else if parts.len() > 3 {
+                    return err(line, format!("bad tag {v}"));
+                }
+                loc
+            } else if parts.len() == 4 || parts.len() == 5 {
                 let get = |k: usize| -> Result<i64, ParseError> {
                     parts[k].parse().map_err(|_| ParseError {
                         line,
                         message: format!("bad tag {v}"),
                     })
                 };
-                MemLoc::affine_outer(
+                let mut loc = MemLoc::affine_outer(
                     sym,
                     get(1)?,
                     get(2)?,
@@ -238,7 +267,14 @@ fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseError> {
                         line,
                         message: format!("bad tag {v}"),
                     })?,
-                )
+                );
+                if parts.len() == 5 {
+                    loc = loc.with_width(parts[4].parse().map_err(|_| ParseError {
+                        line,
+                        message: format!("bad tag {v}"),
+                    })?);
+                }
+                loc
             } else {
                 return err(line, format!("bad tag {v}"));
             });
@@ -273,6 +309,11 @@ fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseError> {
             | Opcode::CvtIF
             | Opcode::CvtFI
             | Opcode::Load
+            | Opcode::VAdd
+            | Opcode::VMul
+            | Opcode::VSplat
+            | Opcode::VReduce
+            | Opcode::VLoad
     );
     let mut it = plain.into_iter();
     if has_dst {
@@ -355,7 +396,7 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
         m.func.add_block_detached("");
     }
     m.func.layout.clear();
-    let mut regs = [0u32; 2];
+    let mut regs = [0u32; 3];
     for (id, label, insts) in blocks {
         for i in &insts {
             for r in i.uses().chain(i.def()) {
@@ -373,6 +414,9 @@ pub fn parse(text: &str) -> Result<Module, ParseError> {
     }
     while m.func.vreg_count(RegClass::Flt) < regs[1] {
         m.func.new_reg(RegClass::Flt);
+    }
+    while m.func.vreg_count(RegClass::Vec) < regs[2] {
+        m.func.new_reg(RegClass::Vec);
     }
     Ok(m)
 }
@@ -454,6 +498,32 @@ mod tests {
         let e = parse(bad).unwrap_err();
         assert_eq!(e.line, 4);
         assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn vector_insts_roundtrip() {
+        let mut m = Module::new("v");
+        let a = m.symtab.declare("A", 16, RegClass::Flt);
+        let f = &mut m.func;
+        let base = f.new_reg(RegClass::Int);
+        let v0 = f.new_reg(RegClass::Vec);
+        let v1 = f.new_reg(RegClass::Vec);
+        let s = f.new_reg(RegClass::Flt);
+        let b = f.add_block("b");
+        f.block_mut(b).insts.extend([
+            Inst::mov(base, Operand::Sym(a)),
+            Inst::vload(v0, base.into(), Operand::ImmI(0), MemLoc::affine(a, 1, 0), 4),
+            Inst::vsplat(v1, Operand::ImmF(2.0), 4),
+            Inst::vec_alu(Opcode::VMul, v0, v0.into(), v1.into(), 4),
+            Inst::vreduce(s, v0.into(), 4),
+            Inst::vstore(base.into(), Operand::ImmI(8), v0.into(), MemLoc::affine(a, 1, 8), 4),
+            Inst::halt(),
+        ]);
+        let text = serialize(&m);
+        let back = parse(&text).unwrap();
+        verify_module(&back).unwrap();
+        assert_eq!(m.func.block(b).insts, back.func.block(b).insts);
+        assert_eq!(text, serialize(&back));
     }
 
     #[test]

@@ -16,6 +16,7 @@ impl Value {
         match class {
             RegClass::Int => Value::I(0),
             RegClass::Flt => Value::F(0.0),
+            RegClass::Vec => panic!("vector registers have no scalar value"),
         }
     }
 
@@ -56,6 +57,7 @@ impl Value {
         match class {
             RegClass::Int => Value::I(bits as i64),
             RegClass::Flt => Value::F(f64::from_bits(bits)),
+            RegClass::Vec => panic!("vector registers have no scalar value"),
         }
     }
 }
@@ -73,6 +75,9 @@ impl ArrayVal {
         match class {
             RegClass::Int => ArrayVal::I(vec![0; n]),
             RegClass::Flt => ArrayVal::F(vec![0.0; n]),
+            // Memory is always scalar-typed; vector ops move groups of
+            // consecutive scalar elements.
+            RegClass::Vec => panic!("arrays have no vector element class"),
         }
     }
 

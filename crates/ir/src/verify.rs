@@ -13,7 +13,7 @@
 //! * register ids are within the function's allocation counters.
 
 use crate::func::{BlockId, Function, Module};
-use crate::inst::{Inst, Operand};
+use crate::inst::{Inst, Operand, MAX_VLEN};
 use crate::op::Opcode;
 use crate::reg::RegClass;
 
@@ -24,7 +24,8 @@ use crate::reg::RegClass;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyError {
     /// Stable error class: `reg-range`, `dangling-target`, `target-shape`,
-    /// `operand-shape`, `class-mismatch`, `mem-tag`, `cfg-fallthrough`.
+    /// `operand-shape`, `class-mismatch`, `mem-tag`, `lane-count`,
+    /// `cfg-fallthrough`.
     pub code: &'static str,
     pub block: BlockId,
     pub index: usize,
@@ -84,6 +85,29 @@ pub fn verify_inst(
         }
     } else if inst.op.is_branch() {
         return err("target-shape", b, i, "branch without target".into());
+    }
+
+    // Lane counts: vector opcodes carry 2..=MAX_VLEN live lanes; every
+    // scalar opcode must keep the default of 1 (a corrupted `lanes` field
+    // on a scalar instruction is structural damage, not a wider operation).
+    if inst.op.result_class() == Some(RegClass::Vec)
+        || matches!(inst.op, VReduce | VStore)
+    {
+        if inst.lanes < 2 || inst.lanes > MAX_VLEN {
+            return err(
+                "lane-count",
+                b,
+                i,
+                format!("{} has lane count {}, expected 2..={MAX_VLEN}", inst.op, inst.lanes),
+            );
+        }
+    } else if inst.lanes != 1 {
+        return err(
+            "lane-count",
+            b,
+            i,
+            format!("scalar {} has lane count {}", inst.op, inst.lanes),
+        );
     }
 
     match inst.op {
@@ -159,6 +183,87 @@ pub fn verify_inst(
             if let (Some(module), Some(c)) = (m, inst.src[2].class()) {
                 if module.symtab.get(mem.sym).class != c {
                     return err("class-mismatch", b, i, format!("store class mismatch for {}", mem.sym));
+                }
+            }
+        }
+        VAdd | VMul => {
+            let d = inst.dst.ok_or_else(|| VerifyError {
+                code: "operand-shape",
+                block: b,
+                index: i,
+                message: "vector alu without dst".into(),
+            })?;
+            if d.class != RegClass::Vec {
+                return err("class-mismatch", b, i, format!("dst {d} wrong class for {}", inst.op));
+            }
+            check_class("src1", inst.src[0], RegClass::Vec, b, i)?;
+            check_class("src2", inst.src[1], RegClass::Vec, b, i)?;
+        }
+        VSplat => {
+            if inst.dst.map(|d| d.class) != Some(RegClass::Vec) {
+                return err("class-mismatch", b, i, "vsplat dst must be vector".into());
+            }
+            check_class("splat src", inst.src[0], RegClass::Flt, b, i)?;
+        }
+        VReduce => {
+            if inst.dst.map(|d| d.class) != Some(RegClass::Flt) {
+                return err("class-mismatch", b, i, "vreduce dst must be float".into());
+            }
+            check_class("reduce src", inst.src[0], RegClass::Vec, b, i)?;
+        }
+        VLoad => {
+            let d = inst.dst.ok_or_else(|| VerifyError {
+                code: "operand-shape",
+                block: b,
+                index: i,
+                message: "vload without dst".into(),
+            })?;
+            if d.class != RegClass::Vec {
+                return err("class-mismatch", b, i, "vload dst must be vector".into());
+            }
+            check_class("base", inst.src[0], RegClass::Int, b, i)?;
+            check_class("offset", inst.src[1], RegClass::Int, b, i)?;
+            let mem = inst.mem.ok_or_else(|| VerifyError {
+                code: "mem-tag",
+                block: b,
+                index: i,
+                message: "vload without mem tag".into(),
+            })?;
+            if mem.width != inst.lanes as u32 {
+                return err(
+                    "lane-count",
+                    b,
+                    i,
+                    format!("vload tag width {} != lane count {}", mem.width, inst.lanes),
+                );
+            }
+            if let Some(module) = m {
+                if module.symtab.get(mem.sym).class != RegClass::Flt {
+                    return err("class-mismatch", b, i, format!("vload of non-float {}", mem.sym));
+                }
+            }
+        }
+        VStore => {
+            check_class("base", inst.src[0], RegClass::Int, b, i)?;
+            check_class("offset", inst.src[1], RegClass::Int, b, i)?;
+            check_class("store value", inst.src[2], RegClass::Vec, b, i)?;
+            let mem = inst.mem.ok_or_else(|| VerifyError {
+                code: "mem-tag",
+                block: b,
+                index: i,
+                message: "vstore without mem tag".into(),
+            })?;
+            if mem.width != inst.lanes as u32 {
+                return err(
+                    "lane-count",
+                    b,
+                    i,
+                    format!("vstore tag width {} != lane count {}", mem.width, inst.lanes),
+                );
+            }
+            if let Some(module) = m {
+                if module.symtab.get(mem.sym).class != RegClass::Flt {
+                    return err("class-mismatch", b, i, format!("vstore to non-float {}", mem.sym));
                 }
             }
         }
@@ -279,6 +384,43 @@ mod tests {
             .push(Inst::mov(Reg::int(99), Operand::ImmI(0)));
         m.func.block_mut(b).insts.push(Inst::halt());
         assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn vector_rules() {
+        let mut m = Module::new("vec");
+        let a = m.symtab.declare("A", 8, RegClass::Flt);
+        let b = m.func.add_block("entry");
+        let base = m.func.new_reg(RegClass::Int);
+        let v0 = m.func.new_reg(RegClass::Vec);
+        let v1 = m.func.new_reg(RegClass::Vec);
+        let s = m.func.new_reg(RegClass::Flt);
+        m.func.block_mut(b).insts.extend([
+            Inst::mov(base, Operand::Sym(a)),
+            Inst::vload(v0, base.into(), Operand::ImmI(0), MemLoc::affine(a, 1, 0), 4),
+            Inst::vec_alu(Opcode::VMul, v1, v0.into(), v0.into(), 4),
+            Inst::vreduce(s, v1.into(), 4),
+            Inst::vstore(base.into(), Operand::ImmI(4), v1.into(), MemLoc::affine(a, 1, 4), 4),
+            Inst::halt(),
+        ]);
+        verify_module(&m).expect("well-formed vector block");
+
+        // Lane count out of range.
+        let mut bad = m.clone();
+        bad.func.block_mut(b).insts[2].lanes = 16;
+        assert_eq!(verify_module(&bad).unwrap_err().code, "lane-count");
+        // Tag width out of sync with the lane count.
+        let mut bad = m.clone();
+        bad.func.block_mut(b).insts[1].lanes = 2;
+        assert_eq!(verify_module(&bad).unwrap_err().code, "lane-count");
+        // Scalar operand where a vector register is required.
+        let mut bad = m.clone();
+        bad.func.block_mut(b).insts[2].src[1] = Operand::Reg(s);
+        assert_eq!(verify_module(&bad).unwrap_err().code, "class-mismatch");
+        // Scalar instructions must keep lanes == 1.
+        let mut bad = m.clone();
+        bad.func.block_mut(b).insts[0].lanes = 4;
+        assert_eq!(verify_module(&bad).unwrap_err().code, "lane-count");
     }
 
     /// A well-formed module with a loop, a load, a store and a branch —

@@ -39,6 +39,7 @@ pub fn lint_module(m: &Module) -> Vec<Diagnostic> {
         lint_uninit_reads(f, &mut out);
         lint_dead_defs(f, &mut out);
         lint_loop_shapes(f, &mut out);
+        lint_vec_lanes(f, &mut out);
     }
     lint_degenerate_cfg(f, &mut out);
 
@@ -48,9 +49,9 @@ pub fn lint_module(m: &Module) -> Vec<Diagnostic> {
 
 /// Every register the function has allocated, as a set.
 fn universe(f: &Function) -> RegSet {
-    let counts = [f.vreg_count(RegClass::Int), f.vreg_count(RegClass::Flt)];
+    let counts = RegClass::ALL.map(|c| f.vreg_count(c));
     let mut u = RegSet::with_capacity(counts);
-    for class in [RegClass::Int, RegClass::Flt] {
+    for class in RegClass::ALL {
         for id in 0..f.vreg_count(class) {
             u.insert(Reg { id, class });
         }
@@ -232,6 +233,71 @@ fn lint_dead_defs(f: &Function, out: &mut Vec<Diagnostic>) {
             }
             for r in inst.uses() {
                 after.insert(r);
+            }
+        }
+    }
+}
+
+/// `vec-lane-mismatch`: every vector register must carry one consistent
+/// lane count from definition through every use. The structural verifier
+/// checks each instruction in isolation (lane range, vload/vstore tag
+/// width), but it cannot see a producer packed at 4 lanes feeding a
+/// consumer that only reads 2 — the upper lanes silently die. Any
+/// disagreement is an error.
+fn lint_vec_lanes(f: &Function, out: &mut Vec<Diagnostic>) {
+    let mut def_lanes: std::collections::HashMap<Reg, u8> = std::collections::HashMap::new();
+    for &b in f.layout_order() {
+        for (i, inst) in f.block(b).insts.iter().enumerate() {
+            let Some(d) = inst.def() else { continue };
+            if d.class != RegClass::Vec {
+                continue;
+            }
+            match def_lanes.entry(d) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(inst.lanes);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let prev = *e.get();
+                    if prev != inst.lanes {
+                        out.push(
+                            Diagnostic::new(
+                                "vec-lane-mismatch",
+                                Severity::Error,
+                                &f.name,
+                                format!(
+                                    "{d} redefined with {} lanes after a {prev}-lane definition",
+                                    inst.lanes
+                                ),
+                            )
+                            .at_inst(b, i),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    for &b in f.layout_order() {
+        for (i, inst) in f.block(b).insts.iter().enumerate() {
+            for u in inst.uses() {
+                if u.class != RegClass::Vec {
+                    continue;
+                }
+                if let Some(&dl) = def_lanes.get(&u) {
+                    if dl != inst.lanes {
+                        out.push(
+                            Diagnostic::new(
+                                "vec-lane-mismatch",
+                                Severity::Error,
+                                &f.name,
+                                format!(
+                                    "{u} was packed with {dl} lanes but is read here at {} lanes",
+                                    inst.lanes
+                                ),
+                            )
+                            .at_inst(b, i),
+                        );
+                    }
+                }
             }
         }
     }

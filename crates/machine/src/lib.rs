@@ -31,6 +31,12 @@ pub struct LatencyTable {
     pub fp_cvt: u32,
     pub fp_mul: u32,
     pub fp_div: u32,
+    /// Lane-wise vector FP add (one pipelined op regardless of lane count).
+    pub vec_alu: u32,
+    /// Lane-wise vector FP multiply.
+    pub vec_mul: u32,
+    /// Horizontal reduction of a vector register into a scalar.
+    pub vec_reduce: u32,
 }
 
 /// Table 1 of the paper.
@@ -45,12 +51,46 @@ pub const TABLE1: LatencyTable = LatencyTable {
     fp_cvt: 3,
     fp_mul: 3,
     fp_div: 10,
+    // Vector extension: lane-wise ops pipeline at the FP-ALU rate; the
+    // horizontal reduce pays an extra FP-add tree (log2(MAX_VLEN) stages).
+    vec_alu: 3,
+    vec_mul: 3,
+    vec_reduce: 6,
 };
+
+/// Typed failure for [`LatencyTable::try_of`]: the opcode has no timing
+/// entry in this table. `Halt`/`Nop` are pseudo-instructions — they occupy
+/// an issue slot in the simulator but have no Table-1 function row, so the
+/// total lookup reports them instead of silently defaulting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyError {
+    /// Opcode without a latency row.
+    pub op: Opcode,
+}
+
+impl std::fmt::Display for LatencyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no latency table entry for opcode `{}`", self.op)
+    }
+}
+
+impl std::error::Error for LatencyError {}
 
 impl LatencyTable {
     /// Latency of one instruction under this table.
+    ///
+    /// Pseudo-instructions without a table row (`Halt`/`Nop`) complete in
+    /// one cycle; use [`LatencyTable::try_of`] when a silent default is not
+    /// acceptable.
     pub fn of(&self, inst: &Inst) -> u32 {
-        match inst.op {
+        self.try_of(inst).unwrap_or(1)
+    }
+
+    /// Total latency lookup over the full opcode set: every real operation
+    /// maps to exactly one table row; pseudo-instructions yield a typed
+    /// [`LatencyError`] instead of a panic or a hidden fallback.
+    pub fn try_of(&self, inst: &Inst) -> Result<u32, LatencyError> {
+        Ok(match inst.op {
             Opcode::Mov => self.int_alu, // register moves complete in 1 cycle
             Opcode::Add
             | Opcode::Sub
@@ -67,9 +107,15 @@ impl LatencyTable {
             Opcode::CvtIF | Opcode::CvtFI => self.fp_cvt,
             Opcode::Load => self.load,
             Opcode::Store => self.store,
+            Opcode::VAdd => self.vec_alu,
+            Opcode::VMul => self.vec_mul,
+            Opcode::VSplat => self.vec_alu,
+            Opcode::VReduce => self.vec_reduce,
+            Opcode::VLoad => self.load,
+            Opcode::VStore => self.store,
             Opcode::Br(_) | Opcode::Jump => self.branch,
-            Opcode::Halt | Opcode::Nop => 1,
-        }
+            Opcode::Halt | Opcode::Nop => return Err(LatencyError { op: inst.op }),
+        })
     }
 }
 
@@ -87,8 +133,10 @@ pub enum FuKind {
     IntMulDiv,
     /// Floating point operations and conversions.
     Fp,
-    /// Memory loads and stores.
+    /// Memory loads and stores (vector loads/stores use one port).
     Mem,
+    /// Vector (SLP) lane-wise arithmetic, splats and reductions.
+    Vec,
     /// Control transfers.
     Branch,
 }
@@ -101,6 +149,7 @@ pub struct FuLimits {
     pub int_mul_div: u32,
     pub fp: u32,
     pub mem: u32,
+    pub vec: u32,
 }
 
 impl FuLimits {
@@ -110,6 +159,7 @@ impl FuLimits {
         int_mul_div: u32::MAX,
         fp: u32::MAX,
         mem: u32::MAX,
+        vec: u32::MAX,
     };
 
     /// Limit for one class.
@@ -119,6 +169,7 @@ impl FuLimits {
             FuKind::IntMulDiv => self.int_mul_div,
             FuKind::Fp => self.fp,
             FuKind::Mem => self.mem,
+            FuKind::Vec => self.vec,
             FuKind::Branch => u32::MAX, // branches use `branch_slots`
         }
     }
@@ -142,7 +193,8 @@ pub fn fu_kind(inst: &Inst) -> FuKind {
         | Opcode::FDiv
         | Opcode::CvtIF
         | Opcode::CvtFI => FuKind::Fp,
-        Opcode::Load | Opcode::Store => FuKind::Mem,
+        Opcode::Load | Opcode::Store | Opcode::VLoad | Opcode::VStore => FuKind::Mem,
+        Opcode::VAdd | Opcode::VMul | Opcode::VSplat | Opcode::VReduce => FuKind::Vec,
         Opcode::Br(_) | Opcode::Jump | Opcode::Halt | Opcode::Nop => FuKind::Branch,
     }
 }
@@ -165,6 +217,10 @@ pub struct Machine {
     /// paper's 100 %-hit model and adds zero cycles to any access; a
     /// finite cache charges extra miss cycles on top of Table-1 latencies.
     pub mem: MemConfig,
+    /// Vector length: lanes per vector register available to the SLP pass
+    /// (1 = scalar-only machine, no vector code generated). Codegen depends
+    /// on this, so it is part of the compile key.
+    pub vlen: u32,
 }
 
 impl Machine {
@@ -178,6 +234,7 @@ impl Machine {
             latency: TABLE1,
             nonexcepting_loads: true,
             mem: MemConfig::Perfect,
+            vlen: 1,
         }
     }
 
@@ -202,6 +259,12 @@ impl Machine {
     /// Replace the memory hierarchy (default: [`MemConfig::Perfect`]).
     pub fn with_mem(mut self, mem: MemConfig) -> Machine {
         self.mem = mem;
+        self
+    }
+
+    /// Set the vector length (lanes per vector register; 1 = scalar only).
+    pub fn with_vlen(mut self, vlen: u32) -> Machine {
+        self.vlen = vlen.max(1);
         self
     }
 
@@ -259,6 +322,9 @@ impl Machine {
         }
         if self.fu.int_mul_div != u32::MAX {
             n.push_str(&format!("/mul{}", self.fu.int_mul_div));
+        }
+        if self.vlen > 1 {
+            n.push_str(&format!("/v{}", self.vlen));
         }
         if !self.mem.is_perfect() {
             n.push_str(&format!("/{}", self.mem.name()));
@@ -335,6 +401,35 @@ mod tests {
         );
         let slow_fp = Machine { latency: LatencyTable { fp_alu: 9, ..TABLE1 }, ..base };
         assert_ne!(base.compile_config_hash(), slow_fp.compile_config_hash());
+    }
+
+    #[test]
+    fn vlen_is_codegen_relevant() {
+        let base = Machine::issue(8);
+        assert_eq!(base.vlen, 1);
+        let v4 = base.with_vlen(4);
+        assert_eq!(v4.name(), "issue-8/v4");
+        // VLEN changes what the compiler emits, so it must split the
+        // artifact-cache key.
+        assert_ne!(base.compile_key(), v4.compile_key());
+        assert_ne!(base.compile_config_hash(), v4.compile_config_hash());
+        assert_eq!(base.with_vlen(0).vlen, 1);
+    }
+
+    #[test]
+    fn latency_lookup_is_total() {
+        let t = TABLE1;
+        let v = Inst::vec_alu(Opcode::VAdd, ilpc_ir::Reg::vec(0), ilpc_ir::Reg::vec(1).into(), ilpc_ir::Reg::vec(2).into(), 4);
+        assert_eq!(t.try_of(&v), Ok(t.vec_alu));
+        assert_eq!(fu_kind(&v), FuKind::Vec);
+        let r = Inst::vreduce(Reg::flt(0), ilpc_ir::Reg::vec(0).into(), 4);
+        assert_eq!(t.try_of(&r), Ok(t.vec_reduce));
+        // Pseudo-instructions report a typed error instead of a silent row.
+        let halt = Inst::halt();
+        assert_eq!(t.try_of(&halt), Err(LatencyError { op: Opcode::Halt }));
+        assert_eq!(t.of(&halt), 1);
+        let e = t.try_of(&Inst::new(Opcode::Nop)).unwrap_err();
+        assert!(e.to_string().contains("nop"), "{e}");
     }
 
     #[test]

@@ -47,17 +47,12 @@ impl Lat {
 /// Per-register environment (dense per class).
 #[derive(Debug, Clone, PartialEq)]
 struct Env {
-    vals: [Vec<Lat>; 2],
+    vals: [Vec<Lat>; 3],
 }
 
 impl Env {
     fn top(f: &Function) -> Env {
-        Env {
-            vals: [
-                vec![Lat::Top; f.vreg_count(RegClass::Int) as usize],
-                vec![Lat::Top; f.vreg_count(RegClass::Flt) as usize],
-            ],
-        }
+        Env { vals: RegClass::ALL.map(|c| vec![Lat::Top; f.vreg_count(c) as usize]) }
     }
 
     fn get(&self, r: Reg) -> Lat {
@@ -70,7 +65,7 @@ impl Env {
 
     fn meet_with(&mut self, other: &Env) -> bool {
         let mut changed = false;
-        for c in 0..2 {
+        for c in 0..3 {
             for (d, s) in self.vals[c].iter_mut().zip(&other.vals[c]) {
                 let m = d.meet(*s);
                 changed |= m != *d;

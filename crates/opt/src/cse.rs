@@ -116,6 +116,7 @@ pub fn cse(f: &mut Function) -> bool {
                             sym: ilpc_ir::SymId(sym),
                             lin,
                             outer,
+                            width: 1,
                         };
                         !lm.may_alias(&sm)
                     }

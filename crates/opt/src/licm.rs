@@ -215,6 +215,7 @@ pub fn promote_registers(f: &mut Function) -> bool {
                 sym: ilpc_ir::SymId(sym),
                 lin: Some((coef, off)),
                 outer,
+                width: 1,
             };
             // No other reference in the loop may alias this location.
             let conflict = all_mem

@@ -12,7 +12,7 @@
 //! report the sum of the integer and floating point counts.
 
 use ilpc_analysis::{Liveness, RegSet};
-use ilpc_ir::{Function, Operand, Reg, RegClass};
+use ilpc_ir::{Function, Operand, Reg};
 use std::collections::{HashMap, HashSet};
 
 /// Register usage of a function.
@@ -22,25 +22,24 @@ pub struct RegUsage {
     pub int: u32,
     /// Peak simultaneously-live floating point registers.
     pub flt: u32,
+    /// Peak simultaneously-live vector registers (zero for scalar code).
+    pub vec: u32,
 }
 
 impl RegUsage {
-    /// Total registers (the paper's reported metric).
+    /// Total registers (the paper's reported metric; vector registers are
+    /// counted once each regardless of lane width).
     pub fn total(self) -> u32 {
-        self.int + self.flt
+        self.int + self.flt + self.vec
     }
 }
 
-fn count_classes(set: &RegSet) -> (u32, u32) {
-    let mut int = 0;
-    let mut flt = 0;
+fn count_classes(set: &RegSet) -> [u32; 3] {
+    let mut n = [0u32; 3];
     for r in set.iter() {
-        match r.class {
-            RegClass::Int => int += 1,
-            RegClass::Flt => flt += 1,
-        }
+        n[r.class.index()] += 1;
     }
-    (int, flt)
+    n
 }
 
 /// Measure peak register pressure over the whole function.
@@ -52,9 +51,10 @@ pub fn measure(f: &Function) -> RegUsage {
         // Walk the block backwards maintaining the precise live set.
         let mut live = lv.live_out(bid).clone();
         let record = |live: &RegSet, usage: &mut RegUsage| {
-            let (i, fl) = count_classes(live);
+            let [i, fl, v] = count_classes(live);
             usage.int = usage.int.max(i);
             usage.flt = usage.flt.max(fl);
+            usage.vec = usage.vec.max(v);
         };
         record(&live, &mut usage);
         for inst in f.block(bid).insts.iter().rev() {
@@ -74,7 +74,7 @@ pub fn measure(f: &Function) -> RegUsage {
 mod tests {
     use super::*;
     use ilpc_ir::inst::{Inst, MemLoc};
-    use ilpc_ir::{Cond, Module, Opcode, Operand, Reg, SymId};
+    use ilpc_ir::{Cond, Module, Opcode, Operand, Reg, RegClass, SymId};
 
     #[test]
     fn straight_line_pressure() {
@@ -174,7 +174,7 @@ mod tests {
 /// A physical register assignment: virtual register → color, per class.
 #[derive(Debug, Clone)]
 pub struct Assignment {
-    colors: [HashMap<u32, u32>; 2],
+    colors: [HashMap<u32, u32>; 3],
     /// Colors used per class.
     pub used: RegUsage,
 }
@@ -197,9 +197,9 @@ impl Assignment {
 /// least number of registers required").
 pub fn color(f: &Function) -> Assignment {
     let lv = Liveness::compute(f);
-    let mut interf: [HashMap<u32, HashSet<u32>>; 2] =
-        [HashMap::new(), HashMap::new()];
-    let mut seen: [HashSet<u32>; 2] = [HashSet::new(), HashSet::new()];
+    let mut interf: [HashMap<u32, HashSet<u32>>; 3] =
+        [HashMap::new(), HashMap::new(), HashMap::new()];
+    let mut seen: [HashSet<u32>; 3] = Default::default();
 
     let mut note = |r: Reg| {
         seen[r.class.index()].insert(r.id);
@@ -235,7 +235,7 @@ pub fn color(f: &Function) -> Assignment {
     // near-intervals, so coloring in definition order approaches the
     // perfect-elimination behavior of interval graphs (loop-carried ranges
     // wrap around the back edge and can cost a small excess).
-    let mut def_pos: [HashMap<u32, usize>; 2] = [HashMap::new(), HashMap::new()];
+    let mut def_pos: [HashMap<u32, usize>; 3] = Default::default();
     let mut pos = 0usize;
     for &bid in f.layout_order() {
         for inst in &f.block(bid).insts {
@@ -246,9 +246,9 @@ pub fn color(f: &Function) -> Assignment {
         }
     }
 
-    let mut colors: [HashMap<u32, u32>; 2] = [HashMap::new(), HashMap::new()];
+    let mut colors: [HashMap<u32, u32>; 3] = Default::default();
     let mut used = RegUsage::default();
-    for ci in 0..2 {
+    for ci in 0..3 {
         let mut order: Vec<u32> = seen[ci].iter().copied().collect();
         order.sort_by_key(|id| def_pos[ci].get(id).copied().unwrap_or(usize::MAX));
         let mut max_color = 0u32;
@@ -266,10 +266,10 @@ pub fn color(f: &Function) -> Assignment {
             colors[ci].insert(id, c);
             max_color = max_color.max(c + 1);
         }
-        if ci == 0 {
-            used.int = max_color;
-        } else {
-            used.flt = max_color;
+        match ci {
+            0 => used.int = max_color,
+            1 => used.flt = max_color,
+            _ => used.vec = max_color,
         }
     }
     Assignment { colors, used }
@@ -300,7 +300,7 @@ pub fn assign_registers(f: &mut Function) -> RegUsage {
 mod color_tests {
     use super::*;
     use ilpc_ir::inst::{Inst, MemLoc};
-    use ilpc_ir::{Cond, Module, Opcode, Operand, SymId};
+    use ilpc_ir::{Cond, Module, Opcode, Operand, RegClass, SymId};
 
     /// Coloring of a straight-line block equals MAXLIVE.
     #[test]

@@ -81,12 +81,13 @@ pub fn schedule_insts(
     let mut slots_used: u32 = 0;
     let mut branches_used: u32 = 0;
     // Per-functional-unit slot accounting (restricted machine models).
-    let mut fu_used = [0u32; 4]; // IntAlu, IntMulDiv, Fp, Mem
+    let mut fu_used = [0u32; 5]; // IntAlu, IntMulDiv, Fp, Mem, Vec
     let fu_index = |k: FuKind| match k {
         FuKind::IntAlu => Some(0),
         FuKind::IntMulDiv => Some(1),
         FuKind::Fp => Some(2),
         FuKind::Mem => Some(3),
+        FuKind::Vec => Some(4),
         FuKind::Branch => None,
     };
     let mut scheduled = 0usize;
@@ -148,7 +149,7 @@ pub fn schedule_insts(
                 cycle = next;
                 slots_used = 0;
                 branches_used = 0;
-                fu_used = [0; 4];
+                fu_used = [0; 5];
             }
         }
     }

@@ -152,6 +152,7 @@ pub fn res_mii(insts: &[Inst], machine: &Machine) -> u32 {
         (FuKind::IntMulDiv, machine.fu.int_mul_div),
         (FuKind::Fp, machine.fu.fp),
         (FuKind::Mem, machine.fu.mem),
+        (FuKind::Vec, machine.fu.vec),
     ] {
         if limit != u32::MAX {
             let count = insts.iter().filter(|i| fu_kind(i) == kind).count() as u32;
@@ -207,6 +208,7 @@ fn fu_index(k: FuKind) -> Option<usize> {
         FuKind::IntMulDiv => Some(1),
         FuKind::Fp => Some(2),
         FuKind::Mem => Some(3),
+        FuKind::Vec => Some(4),
         FuKind::Branch => None,
     }
 }
@@ -233,8 +235,8 @@ fn try_schedule(
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(height[i]));
 
-    // Modulo reservation table: per slot (mod ii): total, branch, fu[4].
-    let mut table = vec![(0u32, 0u32, [0u32; 4]); ii as usize];
+    // Modulo reservation table: per slot (mod ii): total, branch, fu[5].
+    let mut table = vec![(0u32, 0u32, [0u32; 5]); ii as usize];
     let mut time: Vec<Option<u32>> = vec![None; n];
     let mut attempts = 0usize;
 

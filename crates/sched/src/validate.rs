@@ -88,7 +88,7 @@ pub fn validate_schedule(
     }
 
     // 3. Per-cycle resource limits.
-    let mut per_cycle: HashMap<u32, (u32, u32, [u32; 4])> = HashMap::new();
+    let mut per_cycle: HashMap<u32, (u32, u32, [u32; 5])> = HashMap::new();
     for (inst, &t) in sched.insts.iter().zip(&sched.times) {
         let e = per_cycle.entry(t).or_default();
         e.0 += 1;
@@ -100,6 +100,7 @@ pub fn validate_schedule(
             FuKind::IntMulDiv => Some(1),
             FuKind::Fp => Some(2),
             FuKind::Mem => Some(3),
+            FuKind::Vec => Some(4),
             FuKind::Branch => None,
         };
         if let Some(fi) = fi {
@@ -121,6 +122,7 @@ pub fn validate_schedule(
             machine.fu.int_mul_div,
             machine.fu.fp,
             machine.fu.mem,
+            machine.fu.vec,
         ];
         for (k, (&used, &lim)) in fu.iter().zip(&limits).enumerate() {
             if used > lim {

@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! {"id":1,"op":"compile","workload":"dotprod","level":"Lev4","width":8}
+//! {"id":1,"op":"compile","workload":"dotprod","level":"Lev6","width":8,"vlen":4}
 //! {"id":2,"op":"simulate","workload":"add","level":"Lev2","width":4,
 //!  "mem":{"kind":"cache","line_words":4,"sets":16,"ways":2,
 //!         "load_miss":30,"store_miss":30}}
@@ -83,9 +84,9 @@ pub enum Op {
     /// Compile one (workload, level, width) point under the guard and
     /// report achieved level + typed incidents. With `lint`, the reply
     /// also carries the `ilpc-lint` audit of the compiled artifact.
-    Compile { workload: String, level: Level, width: u32, scale: f64, lint: bool },
+    Compile { workload: String, level: Level, width: u32, vlen: u32, scale: f64, lint: bool },
     /// Compile + simulate + differentially verify one point.
-    Simulate { workload: String, level: Level, width: u32, scale: f64, mem: MemConfig },
+    Simulate { workload: String, level: Level, width: u32, vlen: u32, scale: f64, mem: MemConfig },
     /// Multi-scenario sweep over the whole catalog on the work-stealing
     /// pool (see `ilpc_harness::sweep`).
     Sweep {
@@ -113,22 +114,22 @@ fn parse_request_inner(v: &Json, in_batch: bool) -> Result<Request, ReqError> {
         .ok_or_else(|| bad("missing or non-string \"op\""))?;
     let op = match op {
         "compile" => {
-            let (workload, level, width, scale) = point_fields(v)?;
+            let (workload, level, width, vlen, scale) = point_fields(v)?;
             let lint = match v.get("lint") {
                 None => false,
                 Some(l) => l
                     .as_bool()
                     .ok_or_else(|| bad("\"lint\" must be a boolean"))?,
             };
-            Op::Compile { workload, level, width, scale, lint }
+            Op::Compile { workload, level, width, vlen, scale, lint }
         }
         "simulate" => {
-            let (workload, level, width, scale) = point_fields(v)?;
+            let (workload, level, width, vlen, scale) = point_fields(v)?;
             let mem = match v.get("mem") {
                 None => MemConfig::Perfect,
                 Some(m) => parse_mem(m)?,
             };
-            Op::Simulate { workload, level, width, scale, mem }
+            Op::Simulate { workload, level, width, vlen, scale, mem }
         }
         "sweep" => {
             let scale = opt_f64(v, "scale")?.unwrap_or(0.05);
@@ -191,7 +192,7 @@ fn parse_request_inner(v: &Json, in_batch: bool) -> Result<Request, ReqError> {
     Ok(Request { id, op })
 }
 
-fn point_fields(v: &Json) -> Result<(String, Level, u32, f64), ReqError> {
+fn point_fields(v: &Json) -> Result<(String, Level, u32, u32, f64), ReqError> {
     let workload = v
         .get("workload")
         .and_then(Json::as_str)
@@ -205,8 +206,18 @@ fn point_fields(v: &Json) -> Result<(String, Level, u32, f64), ReqError> {
         .and_then(Json::as_u64)
         .and_then(|n| u32::try_from(n).ok())
         .ok_or_else(|| bad("missing or invalid \"width\""))?;
+    // Optional vector length for Lev6 points (1 = scalar machine; the
+    // SLP pass itself clamps to the IR's MAX_VLEN).
+    let vlen = match v.get("vlen") {
+        None => 1,
+        Some(n) => n
+            .as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| bad("\"vlen\" must be a positive integer"))?,
+    };
     let scale = opt_f64(v, "scale")?.unwrap_or(0.05);
-    Ok((workload, level, width, scale))
+    Ok((workload, level, width, vlen, scale))
 }
 
 fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, ReqError> {
@@ -224,7 +235,7 @@ fn parse_level(v: &Json) -> Result<Level, ReqError> {
     Level::ALL
         .into_iter()
         .find(|l| l.name().eq_ignore_ascii_case(s))
-        .ok_or_else(|| bad(format!("unknown level {s:?} (Conv, Lev1..Lev4)")))
+        .ok_or_else(|| bad(format!("unknown level {s:?} (Conv, Lev1..Lev4, Lev6)")))
 }
 
 fn parse_mem(v: &Json) -> Result<MemConfig, ReqError> {
@@ -306,8 +317,15 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        assert!(matches!(r.op, Op::Compile { ref workload, level: Level::Lev4, width: 8, .. }
+        assert!(matches!(r.op, Op::Compile { ref workload, level: Level::Lev4, width: 8, vlen: 1, .. }
             if workload == "dotprod"));
+
+        let r = parse_request(
+            &parse(r#"{"id":2,"op":"compile","workload":"dotprod","level":"Lev6","width":8,"vlen":4}"#)
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(r.op, Op::Compile { level: Level::Lev6, width: 8, vlen: 4, .. }));
 
         let r = parse_request(
             &parse(
@@ -359,6 +377,7 @@ mod tests {
             (r#"{"op":"warp"}"#, "unknown op"),
             (r#"{"op":"compile","workload":"add","level":"Lev9","width":8}"#, "unknown level"),
             (r#"{"op":"compile","workload":"add","level":"Lev2"}"#, "width"),
+            (r#"{"op":"compile","workload":"add","level":"Lev6","width":8,"vlen":0}"#, "vlen"),
             (r#"{"op":"compile","level":"Lev2","width":8}"#, "workload"),
             (r#"{"op":"sweep","mems":[{"kind":"quantum"}]}"#, "mem kind"),
             (r#"{"op":"sweep","widths":[1,-8]}"#, "widths"),

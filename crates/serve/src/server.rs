@@ -226,9 +226,9 @@ fn handle_job(engine: &Engine, req: &Request) -> String {
 
 fn handle_op(engine: &Engine, op: &Op) -> Result<Json, (ErrorKind, String)> {
     match op {
-        Op::Compile { workload, level, width, scale, lint } => {
+        Op::Compile { workload, level, width, vlen, scale, lint } => {
             let w = find_workload(workload, *scale)?;
-            let machine = Machine::issue(*width);
+            let machine = Machine::issue(*width).with_vlen(*vlen);
             let g = ilpc_harness::compile_guarded(
                 &w,
                 *level,
@@ -291,9 +291,9 @@ fn handle_op(engine: &Engine, op: &Op) -> Result<Json, (ErrorKind, String)> {
             }
             Ok(reply)
         }
-        Op::Simulate { workload, level, width, scale, mem } => {
+        Op::Simulate { workload, level, width, vlen, scale, mem } => {
             let w = find_workload(workload, *scale)?;
-            let machine = Machine::issue(*width).with_mem(*mem);
+            let machine = Machine::issue(*width).with_mem(*mem).with_vlen(*vlen);
             let cache = engine.cache_for(*scale);
             let p = cache
                 .evaluate(&w, *level, &machine)

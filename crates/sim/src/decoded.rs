@@ -48,7 +48,11 @@
 //! full evaluation grid.
 
 use crate::{SimError, SimLimits, SimResult};
+use ilpc_ir::inst::MAX_VLEN;
 use ilpc_ir::{BlockId, Cond, MemLoc, Module, Opcode, Operand, RegClass, SymId};
+
+/// Vector register stride in the unified file (words per vector register).
+const VL: u32 = MAX_VLEN as u32;
 use ilpc_machine::{fu_kind, FuKind, LatencyTable, Machine, MemConfig};
 use ilpc_mem::{Access, CacheMem, MemModel, PerfectMem};
 use std::collections::HashMap;
@@ -64,8 +68,10 @@ const R_INT_WHERE_FLT: u8 = 6;
 const R_WRITE_MISMATCH: u8 = 7;
 const R_MIXED_BRANCH: u8 = 8;
 const R_RANGE: u8 = 9;
+const R_VEC_WHERE_SCALAR: u8 = 10;
+const R_SCALAR_WHERE_VEC: u8 = 11;
 
-const TRAP_REASONS: [&str; 10] = [
+const TRAP_REASONS: [&str; 12] = [
     "missing destination register",
     "missing memory tag",
     "missing branch target",
@@ -76,6 +82,8 @@ const TRAP_REASONS: [&str; 10] = [
     "class mismatch on register write",
     "mixed-class branch comparison",
     "register id out of range",
+    "vector register where scalar expected",
+    "scalar operand where vector expected",
 ];
 
 // `target` sentinels for branches whose target only matters when taken.
@@ -116,6 +124,14 @@ enum DOp {
     CvtFI,
     Load,
     Store,
+    // Vector (SLP) operations; the payload is the live lane count,
+    // clamped to MAX_VLEN at decode time.
+    VAdd(u8),
+    VMul(u8),
+    VSplat(u8),
+    VReduce(u8),
+    VLoad(u8),
+    VStore(u8),
     /// Conditional branch comparing two integer-class operands.
     BrI(Cond),
     /// Conditional branch comparing two float-class operands.
@@ -243,9 +259,13 @@ fn slot_class(s: &Rslot, want: RegClass) -> Result<(), u8> {
     if s.class == Some(want) {
         Ok(())
     } else {
-        Err(match want {
-            RegClass::Int => R_FLT_WHERE_INT,
-            RegClass::Flt => R_INT_WHERE_FLT,
+        Err(match (want, s.class) {
+            // Scalar accessors surface a vector register before any
+            // int/float distinction — mirror the legacy reason exactly.
+            (RegClass::Int | RegClass::Flt, Some(RegClass::Vec)) => R_VEC_WHERE_SCALAR,
+            (RegClass::Int, _) => R_FLT_WHERE_INT,
+            (RegClass::Flt, _) => R_INT_WHERE_FLT,
+            (RegClass::Vec, _) => R_SCALAR_WHERE_VEC,
         })
     }
 }
@@ -256,7 +276,8 @@ fn fu_idx(kind: FuKind) -> u8 {
         FuKind::IntMulDiv => 1,
         FuKind::Fp => 2,
         FuKind::Mem => 3,
-        FuKind::Branch => 4,
+        FuKind::Vec => 4,
+        FuKind::Branch => 5,
     }
 }
 
@@ -316,7 +337,10 @@ pub fn decode(m: &Module, machine: &Machine) -> DecodedProgram {
     let (bases, mem_words) = m.symtab.layout();
     let ni = f.vreg_count(RegClass::Int);
     let nf = f.vreg_count(RegClass::Flt);
-    let base_len = ni + nf;
+    let nv = f.vreg_count(RegClass::Vec);
+    // Vector registers occupy MAX_VLEN consecutive file words each; their
+    // scoreboard entry is the first word's index.
+    let base_len = ni + nf + nv * VL;
     // Panics on an empty layout, like the legacy engine's `f.entry()`.
     let entry = f.entry();
 
@@ -353,6 +377,7 @@ pub fn decode(m: &Module, machine: &Machine) -> DecodedProgram {
         match r.class {
             RegClass::Int => r.id,
             RegClass::Flt => ni + r.id,
+            RegClass::Vec => ni + nf + r.id * VL,
         }
     };
     let mut resolve = |o: Operand| -> Rslot {
@@ -411,10 +436,14 @@ pub fn decode(m: &Module, machine: &Machine) -> DecodedProgram {
             // the alias stall): these fire immediately on reach, before
             // slot accounting and budget checks.
             let mut early: Option<u8> = None;
+            let class_count = |c: RegClass| match c {
+                RegClass::Int => ni,
+                RegClass::Flt => nf,
+                RegClass::Vec => nv,
+            };
             for o in inst.src {
                 if let Operand::Reg(r) = o {
-                    let count = if r.class == RegClass::Int { ni } else { nf };
-                    if r.id >= count {
+                    if r.id >= class_count(r.class) {
                         early = Some(R_RANGE);
                         break;
                     }
@@ -422,13 +451,12 @@ pub fn decode(m: &Module, machine: &Machine) -> DecodedProgram {
             }
             if early.is_none() {
                 if let Some(d) = inst.dst {
-                    let count = if d.class == RegClass::Int { ni } else { nf };
-                    if d.id >= count {
+                    if d.id >= class_count(d.class) {
                         early = Some(R_RANGE);
                     }
                 }
             }
-            if early.is_none() && inst.op == Opcode::Load && inst.mem.is_none() {
+            if early.is_none() && inst.op.is_mem_read() && inst.mem.is_none() {
                 early = Some(R_MISSING_TAG);
             }
             if let Some(r) = early {
@@ -450,15 +478,21 @@ pub fn decode(m: &Module, machine: &Machine) -> DecodedProgram {
             rec.a = s0.idx;
             rec.b = s1.idx;
             rec.c = s2.idx;
-            if inst.op == Opcode::Load {
+            if inst.op.is_mem_read() {
                 rec.flags |= F_IS_LOAD;
             }
 
             // Validate in the legacy engine's execute-stage order, so a
             // multiply-malformed instruction reports the same reason.
+            let lanes = inst.lanes.min(MAX_VLEN);
             let decoded: Result<DOp, u8> = (|| match inst.op {
                 Opcode::Mov => {
                     slot_ok(&s0)?;
+                    // The legacy scalar operand read rejects a vector
+                    // register before the destination is examined.
+                    if s0.class == Some(RegClass::Vec) {
+                        return Err(R_VEC_WHERE_SCALAR);
+                    }
                     let d = inst.dst.ok_or(R_MISSING_DST)?;
                     if s0.class != Some(d.class) {
                         return Err(R_WRITE_MISMATCH);
@@ -510,15 +544,21 @@ pub fn decode(m: &Module, machine: &Machine) -> DecodedProgram {
                 }
                 Opcode::Load => {
                     // Legacy checks the destination before the address.
-                    inst.dst.ok_or(R_MISSING_DST)?;
+                    let d = inst.dst.ok_or(R_MISSING_DST)?;
                     slot_class(&s0, RegClass::Int)?;
                     slot_class(&s1, RegClass::Int)?;
+                    if d.class == RegClass::Vec {
+                        return Err(R_WRITE_MISMATCH);
+                    }
                     Ok(DOp::Load)
                 }
                 Opcode::Store => {
                     slot_class(&s0, RegClass::Int)?;
                     slot_class(&s1, RegClass::Int)?;
                     slot_ok(&s2)?;
+                    if s2.class == Some(RegClass::Vec) {
+                        return Err(R_VEC_WHERE_SCALAR);
+                    }
                     if inst.mem.is_none() {
                         return Err(R_MISSING_TAG);
                     }
@@ -526,7 +566,13 @@ pub fn decode(m: &Module, machine: &Machine) -> DecodedProgram {
                 }
                 Opcode::Br(c) => {
                     slot_ok(&s0)?;
+                    if s0.class == Some(RegClass::Vec) {
+                        return Err(R_VEC_WHERE_SCALAR);
+                    }
                     slot_ok(&s1)?;
+                    if s1.class == Some(RegClass::Vec) {
+                        return Err(R_VEC_WHERE_SCALAR);
+                    }
                     match (s0.class, s1.class) {
                         (Some(RegClass::Int), Some(RegClass::Int)) => Ok(DOp::BrI(c)),
                         (Some(RegClass::Flt), Some(RegClass::Flt)) => Ok(DOp::BrF(c)),
@@ -540,6 +586,53 @@ pub fn decode(m: &Module, machine: &Machine) -> DecodedProgram {
                         return Err(R_MISSING_TARGET);
                     }
                     Ok(DOp::Jump)
+                }
+                Opcode::VAdd | Opcode::VMul => {
+                    slot_class(&s0, RegClass::Vec)?;
+                    slot_class(&s1, RegClass::Vec)?;
+                    let d = inst.dst.ok_or(R_MISSING_DST)?;
+                    if d.class != RegClass::Vec {
+                        return Err(R_WRITE_MISMATCH);
+                    }
+                    Ok(if inst.op == Opcode::VAdd {
+                        DOp::VAdd(lanes)
+                    } else {
+                        DOp::VMul(lanes)
+                    })
+                }
+                Opcode::VSplat => {
+                    slot_class(&s0, RegClass::Flt)?;
+                    let d = inst.dst.ok_or(R_MISSING_DST)?;
+                    if d.class != RegClass::Vec {
+                        return Err(R_WRITE_MISMATCH);
+                    }
+                    Ok(DOp::VSplat(lanes))
+                }
+                Opcode::VReduce => {
+                    slot_class(&s0, RegClass::Vec)?;
+                    let d = inst.dst.ok_or(R_MISSING_DST)?;
+                    if d.class != RegClass::Flt {
+                        return Err(R_WRITE_MISMATCH);
+                    }
+                    Ok(DOp::VReduce(lanes))
+                }
+                Opcode::VLoad => {
+                    let d = inst.dst.ok_or(R_MISSING_DST)?;
+                    slot_class(&s0, RegClass::Int)?;
+                    slot_class(&s1, RegClass::Int)?;
+                    if d.class != RegClass::Vec {
+                        return Err(R_WRITE_MISMATCH);
+                    }
+                    Ok(DOp::VLoad(lanes))
+                }
+                Opcode::VStore => {
+                    slot_class(&s0, RegClass::Int)?;
+                    slot_class(&s1, RegClass::Int)?;
+                    slot_class(&s2, RegClass::Vec)?;
+                    if inst.mem.is_none() {
+                        return Err(R_MISSING_TAG);
+                    }
+                    Ok(DOp::VStore(lanes))
                 }
                 Opcode::Halt => Ok(DOp::Halt),
                 Opcode::Nop => unreachable!("nops are skipped above"),
@@ -664,7 +757,13 @@ fn run<M: MemModel>(
     // class counts are bounded by the slot count, which stalls first. The
     // paper's base model (FuLimits::UNLIMITED) takes the specialized
     // engine with no FU accounting at all.
-    let fu = [machine.fu.int_alu, machine.fu.int_mul_div, machine.fu.fp, machine.fu.mem];
+    let fu = [
+        machine.fu.int_alu,
+        machine.fu.int_mul_div,
+        machine.fu.fp,
+        machine.fu.mem,
+        machine.fu.vec,
+    ];
     if fu.iter().all(|&l| l >= issue_width) {
         engine::<M, false>(p, machine, mem, limits, memsys)
     } else {
@@ -748,14 +847,20 @@ fn engine<M: MemModel, const FU: bool>(
 
     let issue_width = machine.issue_width.max(1);
     let branch_slot_limit = machine.branch_slots.max(1);
-    // Slot 4 (branch/none) is accounted by `branch_slots`, never here.
-    let fu_limit: [u32; 5] =
-        [machine.fu.int_alu, machine.fu.int_mul_div, machine.fu.fp, machine.fu.mem, u32::MAX];
+    // Slot 5 (branch/none) is accounted by `branch_slots`, never here.
+    let fu_limit: [u32; 6] = [
+        machine.fu.int_alu,
+        machine.fu.int_mul_div,
+        machine.fu.fp,
+        machine.fu.mem,
+        machine.fu.vec,
+        u32::MAX,
+    ];
 
     let mut cursor: u64 = 0;
     let mut slots: u32 = 0;
     let mut br_used: u32 = 0;
-    let mut fu_slots = [0u32; 5];
+    let mut fu_slots = [0u32; 6];
     let mut dyn_insts: u64 = 0;
     let mut pc: usize = 0;
 
@@ -809,7 +914,7 @@ fn engine<M: MemModel, const FU: bool>(
                     slots = 0;
                     br_used = 0;
                     if FU {
-                        fu_slots = [0; 5];
+                        fu_slots = [0; 6];
                     }
                 }
                 if FU {
@@ -821,7 +926,7 @@ fn engine<M: MemModel, const FU: bool>(
                         cursor += 1;
                         slots = 0;
                         br_used = 0;
-                        fu_slots = [0; 5];
+                        fu_slots = [0; 6];
                     }
                     fu_slots[fi] += 1;
                 } else if slots >= issue_width || ($is_br && br_used >= branch_slot_limit) {
@@ -1023,7 +1128,102 @@ fn engine<M: MemModel, const FU: bool>(
                     cursor = t + extra;
                     slots = 0;
                     br_used = 0;
-                    fu_slots = [0; 5];
+                    fu_slots = [0; 6];
+                }
+            }
+            DOp::VAdd(lanes) | DOp::VMul(lanes) => {
+                let t = issue!(true, false, false);
+                let mul = matches!(s.op, DOp::VMul(_));
+                let d = s.dst as usize;
+                for l in 0..VL as usize {
+                    let v = if l < lanes as usize {
+                        let x = f64::from_bits(rd(&file, ai + l));
+                        let y = f64::from_bits(rd(&file, bi + l));
+                        if mul {
+                            x * y
+                        } else {
+                            x + y
+                        }
+                    } else {
+                        0.0
+                    };
+                    wr(&mut file, d + l, v.to_bits());
+                }
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::VSplat(lanes) => {
+                let t = issue!(true, false, false);
+                let v = rd(&file, ai);
+                let d = s.dst as usize;
+                for l in 0..VL as usize {
+                    wr(&mut file, d + l, if l < lanes as usize { v } else { 0 });
+                }
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::VReduce(lanes) => {
+                let t = issue!(true, false, false);
+                let mut acc = 0.0f64;
+                for l in 0..lanes as usize {
+                    acc += f64::from_bits(rd(&file, ai + l));
+                }
+                let d = s.dst as usize;
+                wr(&mut file, d, acc.to_bits());
+                wr(&mut ready, d, t + lat);
+            }
+            DOp::VLoad(lanes) => {
+                let t = issue!(true, false, true);
+                let addr = (rd(&file, ai) as i64)
+                    .wrapping_add(rd(&file, bi) as i64)
+                    .wrapping_add(rd_i64(&p.ext, pc));
+                let d = s.dst as usize;
+                // Per-lane accesses so MemStats count every element; the
+                // widest miss delays the whole result.
+                let mut extra = 0u64;
+                for l in 0..VL as usize {
+                    let bits = if l < lanes as usize {
+                        let a = addr.wrapping_add(l as i64);
+                        let b = if a >= 0 && (a as usize) < mem.len() {
+                            mem[a as usize]
+                        } else {
+                            0
+                        };
+                        extra = extra.max(memsys.access(Access::Load, a as u64));
+                        b
+                    } else {
+                        0
+                    };
+                    wr(&mut file, d + l, bits);
+                }
+                wr(&mut ready, d, t + lat + extra);
+            }
+            DOp::VStore(lanes) => {
+                let t = issue!(s.flags & F_HAS_DST != 0, false, false);
+                let addr = (rd(&file, ai) as i64)
+                    .wrapping_add(rd(&file, bi) as i64)
+                    .wrapping_add(rd_i64(&p.ext, pc));
+                let ci = s.c as usize;
+                let mut extra = 0u64;
+                for l in 0..lanes as usize {
+                    let a = addr.wrapping_add(l as i64);
+                    if a >= 0 && (a as usize) < mem.len() {
+                        mem[a as usize] = rd(&file, ci + l);
+                    }
+                    extra = extra.max(memsys.access(Access::Store, a as u64));
+                }
+                if rs_last != t {
+                    rs_start = recent_stores.len();
+                    rs_last = t;
+                }
+                recent_stores.push((p.tags[pc], t));
+                if recent_stores.len() > 64 {
+                    recent_stores.drain(..32);
+                    rs_start = rs_start.saturating_sub(32);
+                }
+                if extra > 0 {
+                    cursor = t + extra;
+                    slots = 0;
+                    br_used = 0;
+                    fu_slots = [0; 6];
                 }
             }
             DOp::BrI(c) => {
@@ -1036,7 +1236,7 @@ fn engine<M: MemModel, const FU: bool>(
                     cursor = t + lat;
                     slots = 0;
                     br_used = 0;
-                    fu_slots = [0; 5];
+                    fu_slots = [0; 6];
                     continue;
                 }
             }
@@ -1050,7 +1250,7 @@ fn engine<M: MemModel, const FU: bool>(
                     cursor = t + lat;
                     slots = 0;
                     br_used = 0;
-                    fu_slots = [0; 5];
+                    fu_slots = [0; 6];
                     continue;
                 }
             }
@@ -1060,7 +1260,7 @@ fn engine<M: MemModel, const FU: bool>(
                 cursor = t + lat;
                 slots = 0;
                 br_used = 0;
-                fu_slots = [0; 5];
+                fu_slots = [0; 6];
                 continue;
             }
             DOp::Halt => {

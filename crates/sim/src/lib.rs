@@ -163,6 +163,7 @@ pub fn read_symbol(symtab: &SymTab, memory: &[u64], sym: SymId) -> ArrayVal {
                 .map(|&w| f64::from_bits(w))
                 .collect(),
         ),
+        RegClass::Vec => panic!("arrays have no vector element class"),
     }
 }
 

@@ -19,6 +19,7 @@
 use crate::{SimError, SimLimits, SimResult};
 use ilpc_ir::semantics::{eval_flt, eval_int};
 use ilpc_ir::value::Value;
+use ilpc_ir::inst::MAX_VLEN;
 use ilpc_ir::{BlockId, Inst, MemLoc, Module, Opcode, Operand, Reg, RegClass};
 use ilpc_machine::{fu_kind, FuKind, Machine};
 use ilpc_mem::Access;
@@ -27,7 +28,8 @@ use std::collections::HashMap;
 struct Cpu {
     int: Vec<i64>,
     flt: Vec<f64>,
-    ready: [Vec<u64>; 2],
+    vec: Vec<[f64; MAX_VLEN as usize]>,
+    ready: [Vec<u64>; 3],
     bases: Vec<usize>,
     mem: Vec<u64>,
     /// Stores issued recently: `(tag, issue_time)`.
@@ -49,7 +51,34 @@ impl Cpu {
             RegClass::Flt => {
                 self.flt.get(r.id as usize).map(|&v| Value::F(v)).ok_or("register id out of range")
             }
+            RegClass::Vec => Err("vector register where scalar expected"),
         }
+    }
+
+    fn vec_operand(&self, o: Operand) -> Result<[f64; MAX_VLEN as usize], &'static str> {
+        match o {
+            Operand::Reg(r) if r.class == RegClass::Vec => self
+                .vec
+                .get(r.id as usize)
+                .copied()
+                .ok_or("register id out of range"),
+            Operand::None => Err("reading empty operand"),
+            _ => Err("scalar operand where vector expected"),
+        }
+    }
+
+    fn write_vec(
+        &mut self,
+        r: Reg,
+        v: [f64; MAX_VLEN as usize],
+        ready_at: u64,
+    ) -> Result<(), &'static str> {
+        if r.class != RegClass::Vec {
+            return Err("class mismatch on register write");
+        }
+        *self.vec.get_mut(r.id as usize).ok_or("register id out of range")? = v;
+        self.ready[r.class.index()][r.id as usize] = ready_at;
+        Ok(())
     }
 
     fn operand(&self, o: Operand) -> Result<Value, &'static str> {
@@ -137,9 +166,11 @@ pub fn simulate_limited_reference(
     let mut cpu = Cpu {
         int: vec![0; f.vreg_count(RegClass::Int) as usize],
         flt: vec![0.0; f.vreg_count(RegClass::Flt) as usize],
+        vec: vec![[0.0; MAX_VLEN as usize]; f.vreg_count(RegClass::Vec) as usize],
         ready: [
             vec![0; f.vreg_count(RegClass::Int) as usize],
             vec![0; f.vreg_count(RegClass::Flt) as usize],
+            vec![0; f.vreg_count(RegClass::Vec) as usize],
         ],
         bases,
         mem: init_mem,
@@ -158,12 +189,13 @@ pub fn simulate_limited_reference(
     let mut cursor: u64 = 0;
     let mut slots: u32 = 0;
     let mut branch_slots: u32 = 0;
-    let mut fu_slots = [0u32; 4]; // IntAlu, IntMulDiv, Fp, Mem
+    let mut fu_slots = [0u32; 5]; // IntAlu, IntMulDiv, Fp, Mem, Vec
     let fu_index = |k: FuKind| match k {
         FuKind::IntAlu => Some(0usize),
         FuKind::IntMulDiv => Some(1),
         FuKind::Fp => Some(2),
         FuKind::Mem => Some(3),
+        FuKind::Vec => Some(4),
         FuKind::Branch => None,
     };
 
@@ -206,7 +238,7 @@ pub fn simulate_limited_reference(
                 // WAW: completion order (t + lat >= prev_ready + 1).
                 t = t.max((cpu.ready_at(d).map_err(malformed)? + 1).saturating_sub(lat));
             }
-            if inst.op == Opcode::Load {
+            if inst.op.is_mem_read() {
                 // Same-cycle aliasing store forces +1 (store visible at
                 // issue+1). Earlier-cycle stores are already visible.
                 let tag = mem_tag()?;
@@ -225,7 +257,7 @@ pub fn simulate_limited_reference(
                 cursor = t;
                 slots = 0;
                 branch_slots = 0;
-                fu_slots = [0; 4];
+                fu_slots = [0; 5];
             }
             let kind = fu_kind(inst);
             loop {
@@ -238,7 +270,7 @@ pub fn simulate_limited_reference(
                     cursor += 1;
                     slots = 0;
                     branch_slots = 0;
-                    fu_slots = [0; 4];
+                    fu_slots = [0; 5];
                 } else {
                     break;
                 }
@@ -328,7 +360,81 @@ pub fn simulate_limited_reference(
                         cursor = t + extra;
                         slots = 0;
                         branch_slots = 0;
-                        fu_slots = [0; 4];
+                        fu_slots = [0; 5];
+                    }
+                }
+                Opcode::VAdd | Opcode::VMul => {
+                    let a = cpu.vec_operand(inst.src[0]).map_err(malformed)?;
+                    let b = cpu.vec_operand(inst.src[1]).map_err(malformed)?;
+                    let scalar_op = if inst.op == Opcode::VAdd {
+                        Opcode::FAdd
+                    } else {
+                        Opcode::FMul
+                    };
+                    let mut out = [0.0; MAX_VLEN as usize];
+                    for l in 0..(inst.lanes as usize).min(MAX_VLEN as usize) {
+                        out[l] = eval_flt(scalar_op, a[l], b[l]);
+                    }
+                    cpu.write_vec(dst()?, out, t + lat).map_err(malformed)?;
+                }
+                Opcode::VSplat => {
+                    let v = cpu.flt_operand(inst.src[0]).map_err(malformed)?;
+                    let mut out = [0.0; MAX_VLEN as usize];
+                    for l in 0..(inst.lanes as usize).min(MAX_VLEN as usize) {
+                        out[l] = v;
+                    }
+                    cpu.write_vec(dst()?, out, t + lat).map_err(malformed)?;
+                }
+                Opcode::VReduce => {
+                    let a = cpu.vec_operand(inst.src[0]).map_err(malformed)?;
+                    // Lane-order summation: the packs being reduced were
+                    // adjacent statements, so this matches their source order.
+                    let mut acc = 0.0;
+                    for l in 0..(inst.lanes as usize).min(MAX_VLEN as usize) {
+                        acc = eval_flt(Opcode::FAdd, acc, a[l]);
+                    }
+                    cpu.write(dst()?, Value::F(acc), t + lat).map_err(malformed)?;
+                }
+                Opcode::VLoad => {
+                    let d = dst()?;
+                    let addr = cpu.address(inst).map_err(malformed)?;
+                    let mut out = [0.0; MAX_VLEN as usize];
+                    // Each lane is a full per-word access so MemStats count
+                    // every element; the widest miss delays the whole result.
+                    let mut extra = 0u64;
+                    for l in 0..(inst.lanes as usize).min(MAX_VLEN as usize) {
+                        let a = addr.wrapping_add(l as i64);
+                        let bits = if a >= 0 && (a as usize) < cpu.mem.len() {
+                            cpu.mem[a as usize]
+                        } else {
+                            0
+                        };
+                        out[l] = f64::from_bits(bits);
+                        extra = extra.max(memsys.access(Access::Load, a as u64));
+                    }
+                    cpu.write_vec(d, out, t + lat + extra).map_err(malformed)?;
+                }
+                Opcode::VStore => {
+                    let addr = cpu.address(inst).map_err(malformed)?;
+                    let val = cpu.vec_operand(inst.src[2]).map_err(malformed)?;
+                    let mut extra = 0u64;
+                    for l in 0..(inst.lanes as usize).min(MAX_VLEN as usize) {
+                        let a = addr.wrapping_add(l as i64);
+                        if a >= 0 && (a as usize) < cpu.mem.len() {
+                            cpu.mem[a as usize] = val[l].to_bits();
+                        }
+                        extra = extra.max(memsys.access(Access::Store, a as u64));
+                    }
+                    let tag = mem_tag()?;
+                    cpu.recent_stores.push((tag, t));
+                    if cpu.recent_stores.len() > 64 {
+                        cpu.recent_stores.drain(..32);
+                    }
+                    if extra > 0 {
+                        cursor = t + extra;
+                        slots = 0;
+                        branch_slots = 0;
+                        fu_slots = [0; 5];
                     }
                 }
                 Opcode::Br(c) => {
@@ -351,7 +457,7 @@ pub fn simulate_limited_reference(
                         cursor = t + lat;
                         slots = 0;
                         branch_slots = 0;
-                        fu_slots = [0; 4];
+                        fu_slots = [0; 5];
                         continue 'blocks;
                     }
                 }
@@ -360,7 +466,7 @@ pub fn simulate_limited_reference(
                     cursor = t + lat;
                     slots = 0;
                     branch_slots = 0;
-                    fu_slots = [0; 4];
+                    fu_slots = [0; 5];
                     continue 'blocks;
                 }
                 Opcode::Halt => {

@@ -34,7 +34,11 @@ fi
 echo "ok: all Cargo.toml dependencies are workspace-local (ilpc-*)"
 
 echo "== offline release build =="
-cargo build --release --offline
+# --workspace: the root manifest is a package AND a workspace, so a bare
+# `cargo build` would build only the root package and its dependencies —
+# leaving non-dependency members (ilpc-serve, ilpc-bench) stale, and the
+# serve smoke below runs the built binary.
+cargo build --release --offline --workspace
 
 echo "== offline workspace check (incl. benches, warnings are errors) =="
 RUSTFLAGS="-D warnings" cargo check --workspace --all-targets --offline
@@ -60,6 +64,13 @@ echo "== fault-injection campaign smoke =="
 # (wrong architectural results with nothing flagged).
 cargo run --release --offline -p ilpc-harness --bin fault-campaign -- --quick --seed 7
 
+echo "== vlen-sweep smoke (VLEN x width) =="
+# The SLP vectorization subsystem end-to-end: Lev6 across VLEN {1,4} and
+# widths {1,8} on the 40-loop grid. Deterministic, offline, and
+# self-checking (the bin aborts on any grid error and asserts VLEN=1 is
+# cycle-identical to Lev4 on every point).
+cargo run --release --offline -p ilpc-harness --bin vlen-sweep -- --quick
+
 echo "== static lint audit (reduced grid) =="
 # The static legality analyzer over the healthy pipeline: all 40 workloads
 # at every level, audited module-by-module (dataflow lints + schedule
@@ -77,18 +88,22 @@ printf '%s\n' \
   '{"id":1,"op":"simulate","workload":"dotprod","level":"Lev4","width":8,"scale":0.02}' \
   'this is not json' \
   '{"id":3,"op":"compile","workload":"add","level":"Lev2","width":4,"scale":0.02}' \
+  '{"id":4,"op":"compile","workload":"dotprod","level":"Lev6","width":8,"vlen":4,"scale":0.02}' \
   | ./target/release/ilpc-serve --workers 2 --queue 8 > "$serve_replies"
 python3 - "$serve_replies" <<'EOF'
 import json, sys
 replies = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
-assert len(replies) == 3, f"expected 3 replies, got {len(replies)}"
+assert len(replies) == 4, f"expected 4 replies, got {len(replies)}"
 by_id = {r["id"]: r for r in replies}
 assert by_id[1]["ok"] and by_id[1]["result"]["cycles"] > 0, by_id[1]
 assert not by_id[None]["ok"], by_id[None]
 assert by_id[None]["error"]["kind"] == "bad-request", by_id[None]
 assert by_id[3]["ok"] and by_id[3]["result"]["achieved"] == "Lev2", by_id[3]
-print(f"ok: 3 typed replies (simulate cycles={by_id[1]['result']['cycles']}, "
-      f"bad line rejected, compile achieved={by_id[3]['result']['achieved']})")
+assert by_id[4]["ok"] and by_id[4]["result"]["achieved"] == "Lev6", by_id[4]
+assert by_id[4]["result"]["clean"], by_id[4]
+print(f"ok: 4 typed replies (simulate cycles={by_id[1]['result']['cycles']}, "
+      f"bad line rejected, compile achieved={by_id[3]['result']['achieved']}, "
+      f"vectorized compile achieved={by_id[4]['result']['achieved']})")
 EOF
 rm -f "$serve_replies"
 

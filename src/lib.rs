@@ -5,10 +5,12 @@
 //! *"Compiler Code Transformations for Superscalar-Based High-Performance
 //! Systems"* (Supercomputing '92): a custom RISC IR and mini-FORTRAN front
 //! end, the conventional scalar optimizer used as the paper's baseline, the
-//! eight ILP-increasing transformations, superblock scheduling, a
-//! parameterized in-order superscalar machine model, an execution-driven
-//! cycle simulator, register-pressure measurement, the 40 evaluated loop
-//! nests of Table 2, and a harness regenerating every table and figure.
+//! eight ILP-increasing transformations, an SLP vectorization layer over
+//! the unrolled/renamed bodies (`Lev6`), superblock scheduling, a
+//! parameterized in-order superscalar machine model with a configurable
+//! vector length, an execution-driven cycle simulator, register-pressure
+//! measurement, the 40 evaluated loop nests of Table 2, and a harness
+//! regenerating every table and figure.
 //!
 //! ## Quick start
 //!
@@ -36,6 +38,7 @@ pub use ilpc_opt as opt;
 pub use ilpc_regalloc as regalloc;
 pub use ilpc_sched as sched;
 pub use ilpc_sim as sim;
+pub use ilpc_vec as vec;
 pub use ilpc_workloads as workloads;
 
 /// The most commonly used items in one import.
@@ -58,5 +61,6 @@ pub mod prelude {
     pub use ilpc_lint::{audit_schedules, lint_module, Diagnostic, Severity};
     pub use ilpc_machine::Machine;
     pub use ilpc_mem::{CacheParams, MemConfig, MemModel, MemStats};
+    pub use ilpc_vec::{slp_vectorize, SlpReport};
     pub use ilpc_workloads::{build, build_all, table2, LoopType, Workload};
 }

@@ -23,7 +23,7 @@ fn all_workloads_all_levels_all_widths() {
             }
         }
     }
-    assert_eq!(checked, 40 * 5 * 3);
+    assert_eq!(checked, 40 * Level::ALL.len() * 3);
 }
 
 #[test]

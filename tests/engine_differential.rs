@@ -48,7 +48,7 @@ fn assert_engines_agree_on_grid(mem_cfg: MemConfig) {
             }
         }
     }
-    assert_eq!(checked, 40 * 5 * 3);
+    assert_eq!(checked, 40 * Level::ALL.len() * 3);
 }
 
 #[test]

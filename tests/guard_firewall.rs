@@ -95,7 +95,7 @@ fn full_grid_survives_a_faulted_point() {
             }
         }
     }
-    assert_eq!(present, 40 * 5 * 3 - 1);
+    assert_eq!(present, 40 * levels.len() * widths.len() - 1);
     assert!(grid.point("dotprod", Level::Lev3, 4).is_none());
 
     // Aggregations see the hole instead of passing for complete: the

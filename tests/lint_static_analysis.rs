@@ -38,12 +38,23 @@ fn compiled_dotprod() -> Module {
     compile(&w, Level::Lev2, &Machine::issue(8)).module
 }
 
+/// A vectorized artifact — `VecLane` faults need vector instructions to
+/// strike; every scalar fault class still has sites here too.
+fn compiled_dotprod_vectorized() -> Module {
+    let meta = table2().into_iter().find(|m| m.name == "dotprod").unwrap();
+    let w = build(&meta, 0.05);
+    compile(&w, Level::Lev6, &Machine::issue(8).with_vlen(4)).module
+}
+
 #[test]
 fn every_fault_class_is_statically_caught_or_declared_dynamic() {
-    let clean = compiled_dotprod();
-    assert!(!has_errors(&lint_module(&clean)), "the baseline must be lint-clean");
+    let scalar = compiled_dotprod();
+    let vector = compiled_dotprod_vectorized();
+    assert!(!has_errors(&lint_module(&scalar)), "the scalar baseline must be lint-clean");
+    assert!(!has_errors(&lint_module(&vector)), "the vector baseline must be lint-clean");
 
     for kind in FaultKind::ALL {
+        let clean = if kind == FaultKind::VecLane { &vector } else { &scalar };
         let mut injected = 0usize;
         let mut caught = 0usize;
         for seed in 0..32u64 {
@@ -52,7 +63,7 @@ fn every_fault_class_is_statically_caught_or_declared_dynamic() {
                 continue;
             }
             injected += 1;
-            if statically_caught(&clean, &m) {
+            if statically_caught(clean, &m) {
                 caught += 1;
             }
         }
@@ -82,16 +93,15 @@ fn healthy_artifacts_are_lint_clean_across_levels() {
         let meta = table2().into_iter().find(|m| m.name == name).unwrap();
         let w = build(&meta, 0.04);
         for level in Level::ALL {
-            for width in [1u32, 8] {
-                let machine = Machine::issue(width);
+            for machine in [Machine::issue(1), Machine::issue(8), Machine::issue(8).with_vlen(4)] {
                 let c = compile(&w, level, &machine);
                 let diags = lint_module(&c.module);
                 assert!(
                     !has_errors(&diags),
-                    "{name}/{level}/w{width}: {diags:?}"
+                    "{name}/{level}/{}: {diags:?}", machine.name()
                 );
                 let audit = audit_schedules(&c.module, &c.schedules, &machine);
-                assert!(audit.is_empty(), "{name}/{level}/w{width}: {audit:?}");
+                assert!(audit.is_empty(), "{name}/{level}/{}: {audit:?}", machine.name());
             }
         }
     }
@@ -103,7 +113,7 @@ fn healthy_artifacts_are_lint_clean_across_levels() {
 #[test]
 fn identity_deltas_are_accepted_for_all_passes() {
     let m = compiled_dotprod();
-    let names = ilp_compiler::core_transforms::level::passes(Level::Lev4)
+    let names = ilp_compiler::core_transforms::level::passes(Level::Lev6)
         .map(|p| p.name)
         .chain(["superblock-formation", "list-schedule"]);
     for pass in names {

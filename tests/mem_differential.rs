@@ -46,7 +46,7 @@ fn perfect_mem_is_cycle_identical_to_zero_penalty_cache_on_full_grid() {
             }
         }
     }
-    assert_eq!(checked, 40 * 5 * 3);
+    assert_eq!(checked, 40 * Level::ALL.len() * 3);
 }
 
 #[test]

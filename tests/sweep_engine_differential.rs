@@ -5,8 +5,8 @@
 //! the executable oracle. The two must be indistinguishable on every
 //! observable — the deterministic `(name, level, width)` point stream, the
 //! measured [`EvalPoint`]s, the typed per-point error list, and every
-//! coverage-carrying aggregate — across the full 600-point grid
-//! (40 workloads × 5 levels × widths {1, 4, 8}), under perfect memory,
+//! coverage-carrying aggregate — across the full grid
+//! (40 workloads × every level × widths {1, 4, 8}), under perfect memory,
 //! under a finite cache, and with a sabotaged point degrading both engines
 //! identically. One shared [`ArtifactCache`] feeds all six runs, so this
 //! suite also proves scheduling order never leaks into compile artifacts.
@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 const SCALE: f64 = 0.02;
 const WIDTHS: [u32; 3] = [1, 4, 8];
-const POINTS: usize = 40 * 5 * 3;
+const POINTS: usize = 40 * Level::ALL.len() * 3;
 
 fn full_cfg(
     mem: MemConfig,
@@ -79,7 +79,7 @@ fn assert_grids_identical(tag: &str, ws: &Grid, fj: &Grid) {
 /// shared artifact cache. Sequential on purpose — sharing the cache across
 /// all runs is itself under test.
 #[test]
-fn worksteal_equals_forkjoin_on_600_point_grid() {
+fn worksteal_equals_forkjoin_on_full_grid() {
     let cache = Arc::new(ArtifactCache::new());
 
     // Perfect memory: the paper's model.
@@ -107,7 +107,7 @@ fn worksteal_equals_forkjoin_on_600_point_grid() {
     );
 
     // A sabotaged point must degrade both engines to the same typed error
-    // while the other 599 points stay identical.
+    // while every other point stays identical.
     let sabotage = Sabotage {
         workload: "dotprod".to_string(),
         level: Level::Lev3,
