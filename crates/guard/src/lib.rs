@@ -187,6 +187,54 @@ impl From<&Incident> for IncidentRecord {
     }
 }
 
+/// Supervision-level incident taxonomy for multi-process serving: what a
+/// pool supervisor observed about a worker *shard* (as opposed to the
+/// in-process pass incidents above). Same [`IncidentRecord`] transport, so
+/// shard incidents ride the same wire shape as pass incidents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardIncidentKind {
+    /// The worker process exited or its pipe closed unexpectedly.
+    Crash,
+    /// The worker stopped answering health pings (or sat on a request past
+    /// its deadline) and was reaped.
+    Hang,
+    /// Spawning the worker process failed outright.
+    SpawnFailed,
+    /// The worker emitted a line that was not a valid reply.
+    Garbage,
+    /// The supervisor respawned the worker (follows a crash/hang).
+    Restart,
+    /// The shard's restart-storm circuit breaker opened.
+    CircuitOpen,
+}
+
+impl ShardIncidentKind {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardIncidentKind::Crash => "shard-crash",
+            ShardIncidentKind::Hang => "shard-hang",
+            ShardIncidentKind::SpawnFailed => "shard-spawn-failed",
+            ShardIncidentKind::Garbage => "shard-garbage",
+            ShardIncidentKind::Restart => "shard-restart",
+            ShardIncidentKind::CircuitOpen => "shard-circuit-open",
+        }
+    }
+}
+
+impl IncidentRecord {
+    /// A supervision incident for worker shard `shard`. `step` carries the
+    /// shard index so existing record consumers sort/group sensibly.
+    pub fn shard(shard: usize, kind: ShardIncidentKind, detail: impl Into<String>) -> IncidentRecord {
+        IncidentRecord {
+            step: shard,
+            pass: format!("shard-{shard}"),
+            kind: kind.name().to_string(),
+            detail: detail.into(),
+        }
+    }
+}
+
 /// Architectural-result oracle for differential spot-checks.
 ///
 /// Holds everything needed to execute a module under guard and compare its

@@ -85,6 +85,24 @@ pub struct SweepConfig {
     pub artifacts: Option<Arc<ArtifactCache>>,
 }
 
+impl SweepConfig {
+    /// Split into one single-scenario config per scenario — the shard
+    /// unit the `ilpc-serve` pool supervisor distributes across worker
+    /// processes. Each split shares this config's artifact cache handle
+    /// (within one process; across processes each worker holds its own),
+    /// keeps the axes and sabotage directive verbatim, and is therefore
+    /// equivalent to the original: running the splits and concatenating
+    /// their grids in order yields exactly `run_sweep(self)`'s grids,
+    /// because scenarios never interact — only the stealing pool and the
+    /// cache are shared, and neither changes results.
+    pub fn split_per_scenario(&self) -> Vec<SweepConfig> {
+        self.scenarios
+            .iter()
+            .map(|s| SweepConfig { scenarios: vec![s.clone()], ..self.clone() })
+            .collect()
+    }
+}
+
 impl Default for SweepConfig {
     fn default() -> SweepConfig {
         SweepConfig {
@@ -245,6 +263,44 @@ mod tests {
         let distinct = (40 * levels.len() * widths.len()) as u64;
         assert_eq!(sweep.cache.compiles, distinct, "{:?}", sweep.cache);
         assert_eq!(sweep.cache.hits, distinct, "{:?}", sweep.cache);
+    }
+
+    /// Splitting a sweep per scenario and concatenating the split grids
+    /// reproduces the unsplit sweep exactly — the equivalence the pool
+    /// supervisor's sweep sharding rests on.
+    #[test]
+    fn split_per_scenario_is_equivalent_to_the_whole() {
+        let (levels, widths) = mini_axes();
+        let cfg = SweepConfig {
+            scale: 0.02,
+            levels,
+            widths,
+            threads: 4,
+            scenarios: vec![
+                Scenario::mem(MemConfig::Perfect),
+                Scenario::mem(MemConfig::Cache(CacheParams::small())),
+            ],
+            sabotage: None,
+            artifacts: None,
+        };
+        let whole = run_sweep(&cfg).unwrap();
+
+        let splits = cfg.split_per_scenario();
+        assert_eq!(splits.len(), 2);
+        for (i, split) in splits.iter().enumerate() {
+            assert_eq!(split.scenarios.len(), 1);
+            assert_eq!(split.scenarios[0].label, cfg.scenarios[i].label);
+            assert_eq!(split.scale, cfg.scale);
+            assert_eq!(split.levels, cfg.levels);
+            assert_eq!(split.widths, cfg.widths);
+            let part = run_sweep(split).unwrap();
+            assert_eq!(part.grids.len(), 1);
+            let got: Vec<_> = part.grids[0].iter_points().collect();
+            let want: Vec<_> = whole.grids[i].iter_points().collect();
+            assert_eq!(got, want, "split {i} diverged from the unsplit sweep");
+            assert_eq!(part.grids[0].completed(), whole.grids[i].completed());
+            assert_eq!(part.grids[0].errors.len(), whole.grids[i].errors.len());
+        }
     }
 
     /// A latency-table scenario gets its own compile keys: the table is

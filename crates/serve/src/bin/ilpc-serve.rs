@@ -8,63 +8,137 @@
 //!
 //! # TCP mode:
 //! cargo run --release -p ilpc-serve --bin ilpc-serve -- --tcp 127.0.0.1:7199
+//!
+//! # Supervised multi-process pool (N worker shards over stdin/stdout):
+//! cargo run --release -p ilpc-serve --bin ilpc-serve -- --pool 4
 //! ```
 //!
 //! Flags: `--workers N` (job workers, default 2), `--queue N` (bounded
 //! queue capacity, default 64), `--sweep-threads N` (stealing pool per
-//! sweep, default = cores), `--tcp ADDR` (serve TCP instead of stdin).
+//! sweep, default = cores), `--tcp ADDR` (serve TCP instead of stdin),
+//! `--chaos SPEC` (seeded fault injection, stdin worker mode only — see
+//! `ilpc_serve::chaos`).
+//!
+//! Pool mode (`--pool N`) re-execs this binary N times as worker shards
+//! and supervises them: health pings, per-request deadlines (typed
+//! `timeout` replies), crash respawn under seeded exponential backoff
+//! with a restart-storm circuit breaker, and bounded retry of idempotent
+//! requests on a different worker. Pool knobs: `--deadline-ms`,
+//! `--ping-interval-ms`, `--ping-misses`, `--retry N` (total attempts),
+//! `--backoff-base-ms`, `--backoff-max-ms`, `--backoff-jitter-ms`,
+//! `--breaker-max`, `--breaker-window-ms`, `--breaker-cooloff-ms`,
+//! `--seed`. With `--chaos`, the spec is forwarded to every worker with
+//! `salt={shard}g{gen}` appended, so each worker generation draws its own
+//! deterministic fault stream.
 //!
 //! The process never exits on bad input: malformed lines, invalid configs
 //! and failed evaluations come back as typed error replies, and a full
 //! queue rejects with `overloaded` instead of buffering without bound.
 
-use ilpc_serve::{serve_lines, serve_tcp, ServeConfig};
+use ilpc_serve::{pool_lines, serve_lines, serve_tcp, ChaosPlan, PoolConfig, ServeConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut cfg = ServeConfig::default();
+    let mut pool = PoolConfig::default();
     let mut tcp: Option<String> = None;
+    let mut shards: Option<usize> = None;
+    let mut chaos: Option<String> = None;
     let mut k = 1;
+    let num = |args: &[String], k: usize, what: &str| -> u64 {
+        args.get(k + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| die(&format!("{what} needs an integer value")))
+    };
     while k < args.len() {
         match args[k].as_str() {
-            "--workers" => {
-                cfg.workers = args[k + 1].parse().expect("--workers N");
-                k += 2;
-            }
-            "--queue" => {
-                cfg.queue = args[k + 1].parse().expect("--queue N");
-                k += 2;
-            }
-            "--sweep-threads" => {
-                cfg.sweep_threads = args[k + 1].parse().expect("--sweep-threads N");
-                k += 2;
-            }
+            "--workers" => cfg.workers = num(&args, k, "--workers") as usize,
+            "--queue" => cfg.queue = num(&args, k, "--queue") as usize,
+            "--sweep-threads" => cfg.sweep_threads = num(&args, k, "--sweep-threads") as usize,
             "--tcp" => {
-                tcp = Some(args[k + 1].clone());
-                k += 2;
+                tcp = Some(args.get(k + 1).cloned().unwrap_or_else(|| die("--tcp ADDR")))
             }
+            "--pool" => shards = Some(num(&args, k, "--pool") as usize),
+            "--chaos" => {
+                chaos = Some(args.get(k + 1).cloned().unwrap_or_else(|| die("--chaos SPEC")))
+            }
+            "--deadline-ms" => pool.deadline_ms = num(&args, k, "--deadline-ms"),
+            "--ping-interval-ms" => pool.ping_interval_ms = num(&args, k, "--ping-interval-ms"),
+            "--ping-misses" => pool.ping_misses = num(&args, k, "--ping-misses") as u32,
+            "--retry" => pool.max_attempts = num(&args, k, "--retry") as u32,
+            "--backoff-base-ms" => pool.backoff.base_ms = num(&args, k, "--backoff-base-ms"),
+            "--backoff-max-ms" => pool.backoff.max_ms = num(&args, k, "--backoff-max-ms"),
+            "--backoff-jitter-ms" => {
+                pool.backoff.jitter_ms = num(&args, k, "--backoff-jitter-ms")
+            }
+            "--breaker-max" => pool.breaker.max_restarts = num(&args, k, "--breaker-max") as u32,
+            "--breaker-window-ms" => {
+                pool.breaker.window_ms = num(&args, k, "--breaker-window-ms")
+            }
+            "--breaker-cooloff-ms" => {
+                pool.breaker.cooloff_ms = num(&args, k, "--breaker-cooloff-ms")
+            }
+            "--seed" => pool.backoff.seed = num(&args, k, "--seed"),
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
                     "usage: ilpc-serve [--workers N] [--queue N] [--sweep-threads N] \
-                     [--tcp ADDR]"
+                     [--tcp ADDR] [--chaos SPEC] [--pool N ...pool knobs...]"
                 );
                 std::process::exit(2);
             }
         }
+        k += 2;
     }
 
-    match tcp {
-        Some(addr) => {
-            let (local, accept_loop) =
-                serve_tcp(&cfg, &addr, None).expect("bind TCP listener");
+    match (tcp, shards) {
+        (Some(_), Some(_)) => die("--tcp and --pool are mutually exclusive"),
+        (Some(addr), None) => {
+            if chaos.is_some() {
+                die("--chaos is a stdin-mode flag (workers and pool drills), not TCP");
+            }
+            let (local, accept_loop) = serve_tcp(&cfg, &addr, None).expect("bind TCP listener");
             eprintln!("ilpc-serve listening on {local}");
             accept_loop.join().expect("accept loop");
         }
-        None => {
+        (None, Some(shards)) => {
+            pool.shards = shards;
+            pool.worker_exe =
+                std::env::current_exe().expect("current_exe for worker re-exec");
+            pool.worker_args = vec![
+                "--workers".into(),
+                cfg.workers.to_string(),
+                "--queue".into(),
+                cfg.queue.to_string(),
+                "--sweep-threads".into(),
+                cfg.sweep_threads.to_string(),
+            ];
+            if let Some(spec) = &chaos {
+                // Validate here so a typo'd spec fails fast instead of
+                // crash-looping every worker it is forwarded to.
+                if let Err(e) = ChaosPlan::parse(spec) {
+                    die(&e);
+                }
+                pool.worker_args.push("--chaos".into());
+                pool.worker_args.push(format!("{spec},salt={{shard}}g{{gen}}"));
+            }
+            pool.log_incidents = true;
+            let mut input = std::io::BufReader::new(std::io::stdin());
+            if let Err(e) = pool_lines(&pool, &mut input, &mut std::io::stdout()) {
+                if e.kind() == std::io::ErrorKind::BrokenPipe {
+                    return;
+                }
+                eprintln!("ilpc-serve --pool: {e}");
+                std::process::exit(1);
+            }
+        }
+        (None, None) => {
+            if let Some(spec) = chaos {
+                cfg.chaos = Some(ChaosPlan::parse(&spec).unwrap_or_else(|e| die(&e)));
+            }
             let stdin = std::io::stdin();
-            let stdout = std::io::stdout();
-            if let Err(e) = serve_lines(&cfg, &mut stdin.lock(), &mut stdout.lock()) {
+            let mut input = stdin.lock();
+            if let Err(e) = serve_lines(&cfg, &mut input, &mut std::io::stdout()) {
                 // A reader that hangs up early (head, a dead pipe) is a
                 // normal way for a stream session to end, not a failure.
                 if e.kind() == std::io::ErrorKind::BrokenPipe {
@@ -75,4 +149,9 @@ fn main() {
             }
         }
     }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("ilpc-serve: {msg}");
+    std::process::exit(2)
 }

@@ -7,13 +7,25 @@
 //! per-scale compile-artifact caches across requests; guard incidents ride
 //! each `compile` reply as typed records.
 //!
+//! `--pool N` runs the [`pool`] supervisor instead: N worker *processes*
+//! behind a router that holds the reply contract through crashes, hangs
+//! and garbage (deadlines, health pings, seeded backoff + circuit
+//! breaker, bounded retry), verified by the seeded [`chaos`] harness
+//! (`pool-chaos` bin).
+//!
 //! See `crates/serve/src/proto.rs` for the wire format and DESIGN.md §15
-//! for the full protocol contract.
+//! (protocol) / §18 (pool supervision) for the full contract.
 
 pub use ilpc_lint::json;
+pub mod chaos;
+pub mod pool;
 pub mod proto;
 pub mod server;
+pub mod supervisor;
 
+pub use chaos::{ChaosPlan, ChaosVerdict};
 pub use json::{obj, parse, Json};
+pub use pool::{pool_lines, pool_script, PoolConfig};
 pub use proto::{err_reply, ok_reply, parse_request, ErrorKind, Op, Request};
 pub use server::{serve_lines, serve_script, serve_tcp, ServeConfig, Server, MAX_LINE_BYTES};
+pub use supervisor::{BackoffCfg, BreakerCfg, ShardPhase, ShardSupervisor};

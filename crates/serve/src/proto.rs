@@ -13,7 +13,13 @@
 //! {"id":3,"op":"sweep","scale":0.02,"levels":["Conv","Lev2"],
 //!  "widths":[1,8],"mems":[{"kind":"perfect"},{"kind":"cache","sets":16}]}
 //! {"id":4,"op":"batch","requests":[{...},{...}]}
+//! {"id":5,"op":"ping"}
+//! {"id":6,"op":"status"}
 //! ```
+//!
+//! `ping` and `status` are answered immediately without queue admission
+//! (a health probe must not bounce off a full queue); the pool front end
+//! (`--pool N`) answers them itself with per-shard supervision state.
 //!
 //! Replies are `{"id":…,"ok":true,"result":{…}}` or
 //! `{"id":…,"ok":false,"error":{"kind":"<kind>","detail":"…"}}` with one
@@ -42,6 +48,14 @@ pub enum ErrorKind {
     BadConfig,
     /// A contained internal failure (a panic inside the handler).
     Internal,
+    /// The request's per-request deadline expired before a worker shard
+    /// produced a reply (pool mode). The evaluation may still be running
+    /// or its shard may have been reaped — the *reply* is authoritative:
+    /// exactly one per request, and this one says "gave up waiting".
+    Timeout,
+    /// No shard could complete the request: every attempt landed on a
+    /// worker that died, or all shards are circuit-open (pool mode).
+    Unavailable,
 }
 
 impl ErrorKind {
@@ -53,6 +67,8 @@ impl ErrorKind {
             ErrorKind::EvalFailed => "eval-failed",
             ErrorKind::BadConfig => "bad-config",
             ErrorKind::Internal => "internal",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Unavailable => "unavailable",
         }
     }
 }
@@ -99,6 +115,28 @@ pub enum Op {
     /// Several requests executed as one job; replies come back as one
     /// array in submission order.
     Batch(Vec<Request>),
+    /// Health probe: answered immediately, *bypassing* the bounded queue,
+    /// so a busy-but-alive process still pongs. The pool supervisor
+    /// drives its hang detection off this op.
+    Ping,
+    /// Service introspection: queue depth and worker count for a single
+    /// process; per-shard supervision state when answered by a pool.
+    Status,
+}
+
+impl Request {
+    /// Whether re-executing this request is observably identical to
+    /// executing it once. Every current op is a pure evaluation (compile,
+    /// simulate, sweep and their batches mutate nothing but caches), so
+    /// the pool may re-dispatch it after a worker crash. Any future
+    /// mutating op must return `false` here to opt out of retry.
+    pub fn is_idempotent(&self) -> bool {
+        match &self.op {
+            Op::Compile { .. } | Op::Simulate { .. } | Op::Sweep { .. } => true,
+            Op::Ping | Op::Status => true,
+            Op::Batch(reqs) => reqs.iter().all(Request::is_idempotent),
+        }
+    }
 }
 
 /// Parse one request line (already validated as JSON by the caller).
@@ -170,6 +208,8 @@ fn parse_request_inner(v: &Json, in_batch: bool) -> Result<Request, ReqError> {
             };
             Op::Sweep { scale, levels, widths, mems, sabotage }
         }
+        "ping" => Op::Ping,
+        "status" => Op::Status,
         "batch" => {
             if in_batch {
                 return Err(bad("nested \"batch\" requests are not allowed"));
@@ -368,6 +408,32 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(r.op, Op::Batch(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn ping_and_status_parse_and_are_idempotent() {
+        let r = parse_request(&parse(r#"{"id":"p","op":"ping"}"#).unwrap()).unwrap();
+        assert!(matches!(r.op, Op::Ping));
+        assert!(r.is_idempotent());
+        let r = parse_request(&parse(r#"{"op":"status"}"#).unwrap()).unwrap();
+        assert!(matches!(r.op, Op::Status));
+        // A batch of pure evaluations is idempotent as a whole — the
+        // property the pool's crash-retry rule keys on.
+        let r = parse_request(
+            &parse(
+                r#"{"op":"batch","requests":[{"op":"ping"},
+                    {"op":"compile","workload":"add","level":"Conv","width":1}]}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(r.is_idempotent());
+    }
+
+    #[test]
+    fn pool_error_kinds_have_stable_names() {
+        assert_eq!(ErrorKind::Timeout.name(), "timeout");
+        assert_eq!(ErrorKind::Unavailable.name(), "unavailable");
     }
 
     #[test]

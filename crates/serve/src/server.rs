@@ -17,6 +17,7 @@
 //!   same scale skip recompilation entirely (the cache's contract binds it
 //!   to one catalog + scale — hence the per-scale map).
 
+use crate::chaos::{ChaosPlan, ChaosVerdict};
 use crate::json::{obj, parse, Json};
 use crate::proto::{err_reply, ok_reply, parse_request, ErrorKind, Op, Request};
 use ilpc_guard::GuardConfig;
@@ -45,12 +46,15 @@ pub struct ServeConfig {
     pub queue: usize,
     /// Worker threads available to each sweep job's stealing pool.
     pub sweep_threads: usize,
+    /// Seeded fault injection for chaos drills (stdin mode only); `None`
+    /// in production. See [`crate::chaos`].
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
         let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        ServeConfig { workers: 2, queue: 64, sweep_threads: cpus }
+        ServeConfig { workers: 2, queue: 64, sweep_threads: cpus, chaos: None }
     }
 }
 
@@ -124,6 +128,10 @@ impl BoundedQueue {
 /// Shared evaluation state: one artifact cache per trip-count scale.
 struct Engine {
     sweep_threads: usize,
+    workers: usize,
+    /// Back-reference to the admission queue so `status` can report
+    /// depth/capacity (introspection only — the queue owns admission).
+    queue: Arc<BoundedQueue>,
     caches: Mutex<HashMap<u64, Arc<ArtifactCache>>>,
 }
 
@@ -138,6 +146,7 @@ impl Engine {
 /// [`serve_tcp`]) feed it request lines and forward its replies.
 pub struct Server {
     queue: Arc<BoundedQueue>,
+    engine: Arc<Engine>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -146,6 +155,8 @@ impl Server {
         let queue = Arc::new(BoundedQueue::new(cfg.queue));
         let engine = Arc::new(Engine {
             sweep_threads: cfg.sweep_threads.max(1),
+            workers: cfg.workers.max(1),
+            queue: Arc::clone(&queue),
             caches: Mutex::new(HashMap::new()),
         });
         let workers = (0..cfg.workers.max(1))
@@ -162,7 +173,7 @@ impl Server {
                 })
             })
             .collect();
-        Server { queue, workers }
+        Server { queue, engine, workers }
     }
 
     /// Handle one raw request line: parse, admit, or reply immediately
@@ -192,6 +203,13 @@ impl Server {
                 return;
             }
         };
+        // Health probes bypass the bounded queue: a busy-but-alive server
+        // must still pong, and introspection must not bounce off a full
+        // queue with `overloaded`. Both handlers are O(1).
+        if matches!(req.op, Op::Ping | Op::Status) {
+            let _ = reply.send(handle_job(&self.engine, &req));
+            return;
+        }
         if let Err(job) = self.queue.push(Job { req, reply: reply.clone() }) {
             let _ = job.reply.send(err_reply(
                 &job.req.id,
@@ -392,6 +410,13 @@ fn handle_op(engine: &Engine, op: &Op) -> Result<Json, (ErrorKind, String)> {
                 ),
             ]))
         }
+        Op::Ping => Ok(obj([("pong", Json::Bool(true))])),
+        Op::Status => Ok(obj([
+            ("role", Json::str("single")),
+            ("workers", Json::num(engine.workers as f64)),
+            ("queue_depth", Json::num(engine.queue.len() as f64)),
+            ("queue_cap", Json::num(engine.queue.cap as f64)),
+        ])),
         Op::Batch(reqs) => {
             // One job, several requests: replies in submission order,
             // each with its own id and ok/error envelope.
@@ -437,7 +462,17 @@ fn find_workload(name: &str, scale: f64) -> Result<Workload, (ErrorKind, String)
 /// `Ok(Some(("", false)))` when the line was oversized — its remainder is
 /// drained in bounded chunks and discarded, so a hostile multi-gigabyte
 /// line costs O(chunk) memory, never an allocation proportional to it.
-fn read_line_capped(r: &mut impl BufRead) -> std::io::Result<Option<(String, bool)>> {
+///
+/// With `strict_eol`, a final line with no terminating newline is treated
+/// as a mid-line disconnect and *discarded* (clean EOF, no reply): that is
+/// the TCP contract, where a client dying halfway through a request must
+/// not be answered with a `bad-request` fired into a dead socket. Stream
+/// mode keeps `strict_eol` off so a trailing unterminated request typed at
+/// an interactive stdin still gets served.
+pub(crate) fn read_line_capped(
+    r: &mut impl BufRead,
+    strict_eol: bool,
+) -> std::io::Result<Option<(String, bool)>> {
     use std::io::Read;
     let mut buf: Vec<u8> = Vec::new();
     let n = r.by_ref().take(MAX_LINE_BYTES as u64 + 1).read_until(b'\n', &mut buf)?;
@@ -457,46 +492,106 @@ fn read_line_capped(r: &mut impl BufRead) -> std::io::Result<Option<(String, boo
         }
         return Ok(Some((String::new(), false)));
     }
+    if strict_eol && !buf.ends_with(b"\n") {
+        return Ok(None);
+    }
     Ok(Some((String::from_utf8_lossy(&buf).into_owned(), true)))
 }
 
+/// True for the error kinds a peer produces by going away: these end a
+/// connection cleanly instead of surfacing as an internal error.
+pub(crate) fn is_disconnect(kind: std::io::ErrorKind) -> bool {
+    use std::io::ErrorKind::*;
+    matches!(kind, ConnectionReset | ConnectionAborted | BrokenPipe | UnexpectedEof)
+}
+
+/// Private sentinel prefix carried over the reply channel for the chaos
+/// `partial` verdict: the writer thread emits the payload *without* a
+/// newline, flushes the torn bytes, then aborts the process.
+const CHAOS_PARTIAL_MARK: &str = "\u{1}chaos-partial\u{1}";
+
 /// Serve JSON-lines over arbitrary reader/writer streams (the stdin mode
-/// of the binary, and directly testable). Replies are written as they
-/// complete; at EOF the queue is drained before returning.
+/// of the binary, and directly testable). A dedicated writer thread
+/// flushes every reply the moment it completes — the pool front end paces
+/// requests off replies, so buffering replies until the next input line
+/// would deadlock a one-in-flight client. At EOF the queue is drained
+/// before returning.
 pub fn serve_lines(
     cfg: &ServeConfig,
     input: &mut impl BufRead,
-    output: &mut impl Write,
+    output: &mut (impl Write + Send),
 ) -> std::io::Result<()> {
     let server = Server::start(cfg);
+    let mut chaos = cfg.chaos.clone();
     let (tx, rx) = mpsc::channel::<String>();
 
-    loop {
-        // Forward any completed replies without blocking the read loop.
-        while let Ok(line) = rx.try_recv() {
-            writeln!(output, "{line}")?;
-            output.flush()?;
-        }
-        match read_line_capped(input)? {
-            None => break,
-            Some((_, false)) => {
-                let _ = tx.send(err_reply(
-                    &Json::Null,
-                    ErrorKind::BadRequest,
-                    &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-                ));
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(move || -> std::io::Result<()> {
+            for line in rx {
+                if let Some(torn) = line.strip_prefix(CHAOS_PARTIAL_MARK) {
+                    let _ = output.write_all(torn.as_bytes());
+                    let _ = output.flush();
+                    std::process::abort();
+                }
+                writeln!(output, "{line}")?;
+                output.flush()?;
             }
-            Some((line, true)) => server.submit_line(&line, &tx),
+            output.flush()
+        });
+
+        let read_result = (|| -> std::io::Result<()> {
+            loop {
+                match read_line_capped(input, false)? {
+                    None => return Ok(()),
+                    Some((_, false)) => {
+                        let _ = tx.send(err_reply(
+                            &Json::Null,
+                            ErrorKind::BadRequest,
+                            &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                        ));
+                    }
+                    Some((line, true)) => match chaos_verdict(&mut chaos, &line) {
+                        ChaosVerdict::Forward => server.submit_line(&line, &tx),
+                        ChaosVerdict::Kill => std::process::abort(),
+                        ChaosVerdict::Stall => loop {
+                            // The SIGSTOP analogue: stop reading forever.
+                            // Pongs cease with everything else; only the
+                            // supervisor can recover this process.
+                            std::thread::sleep(std::time::Duration::from_secs(3600));
+                        },
+                        ChaosVerdict::Garbage => {
+                            let _ = tx.send("#chaos garbage {{{not json".to_string());
+                        }
+                        ChaosVerdict::Partial => {
+                            let _ = tx.send(format!(
+                                "{CHAOS_PARTIAL_MARK}{{\"id\":4242,\"ok\":tru"
+                            ));
+                        }
+                        ChaosVerdict::Drop => {}
+                    },
+                }
+            }
+        })();
+
+        // EOF (or a read error): finish queued work, close the reply
+        // channel, and let the writer drain everything that remains.
+        server.shutdown();
+        drop(tx);
+        let write_result = writer.join().expect("reply writer thread");
+        read_result.and(write_result)
+    })
+}
+
+/// Consult the chaos plan for one raw request line, if a plan is armed.
+fn chaos_verdict(chaos: &mut Option<ChaosPlan>, line: &str) -> ChaosVerdict {
+    match chaos {
+        None => ChaosVerdict::Forward,
+        Some(plan) => {
+            let parsed = parse(line).ok();
+            let op = parsed.as_ref().and_then(|v| v.get("op")).and_then(Json::as_str);
+            plan.decide(op)
         }
     }
-
-    // EOF: finish queued work, then flush every remaining reply.
-    server.shutdown();
-    drop(tx);
-    for line in rx {
-        writeln!(output, "{line}")?;
-    }
-    output.flush()
 }
 
 /// Serve JSON-lines over TCP: one reader thread and one writer channel per
@@ -535,6 +630,11 @@ pub fn serve_tcp(
 
 /// One TCP connection: requests in, replies out, isolation by channel —
 /// a reply can only ever reach the connection whose request produced it.
+///
+/// A client that goes away is a normal end of session, not a failure:
+/// EOF, a mid-line disconnect (unterminated final fragment) and
+/// reset/abort errors all close the connection cleanly with no error
+/// reply attempted at the dead socket.
 fn serve_connection(server: &Server, stream: std::net::TcpStream) -> std::io::Result<()> {
     let mut reader = std::io::BufReader::new(stream.try_clone()?);
     let mut writer = stream;
@@ -546,22 +646,24 @@ fn serve_connection(server: &Server, stream: std::net::TcpStream) -> std::io::Re
         }
         Ok(())
     });
-    loop {
-        match read_line_capped(&mut reader)? {
-            None => break,
-            Some((_, false)) => {
+    let result = loop {
+        match read_line_capped(&mut reader, true) {
+            Err(e) if is_disconnect(e.kind()) => break Ok(()),
+            Err(e) => break Err(e),
+            Ok(None) => break Ok(()),
+            Ok(Some((_, false))) => {
                 let _ = tx.send(err_reply(
                     &Json::Null,
                     ErrorKind::BadRequest,
                     &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
                 ));
             }
-            Some((line, true)) => server.submit_line(&line, &tx),
+            Ok(Some((line, true))) => server.submit_line(&line, &tx),
         }
-    }
+    };
     drop(tx);
     let _ = writer_thread.join();
-    Ok(())
+    result
 }
 
 /// Convenience for tests: run one batch of lines through a fresh server

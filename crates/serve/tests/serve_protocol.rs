@@ -6,7 +6,7 @@ use ilpc_serve::{parse, serve_script, serve_tcp, Json, ServeConfig};
 use std::io::{BufRead, BufReader, Write};
 
 fn cfg_small() -> ServeConfig {
-    ServeConfig { workers: 2, queue: 8, sweep_threads: 4 }
+    ServeConfig { workers: 2, queue: 8, sweep_threads: 4, ..Default::default() }
 }
 
 /// Reply lines all parse, and each maps id → (ok, payload).
@@ -97,7 +97,7 @@ fn oversized_line_is_rejected_and_stream_continues() {
 fn queue_overflow_produces_backpressure_replies() {
     // One worker, one queue slot. The first job is a slow sweep that
     // occupies the worker, so the flood behind it must overflow.
-    let cfg = ServeConfig { workers: 1, queue: 1, sweep_threads: 2 };
+    let cfg = ServeConfig { workers: 1, queue: 1, sweep_threads: 2, ..Default::default() };
     let slow =
         r#"{"id":"slow","op":"sweep","scale":0.02,"levels":["Conv","Lev2"],"widths":[1,8]}"#;
     let fast =
@@ -225,11 +225,127 @@ fn compile_with_lint_attaches_clean_audit() {
     assert!(r.get("lint").is_none(), "lint must be opt-in: {r:?}");
 }
 
+/// The reply `id` is the request `id` echoed **verbatim** — numbers,
+/// strings, even structured values, and absent ids come back as `null`.
+/// The pool router relies on this contract for correlation: it rewrites
+/// client ids to internal ones and must get exactly those bytes back.
+#[test]
+fn reply_id_is_echoed_verbatim_for_every_json_shape() {
+    let script = [
+        r#"{"id":7,"op":"ping"}"#,
+        r#"{"id":7.5,"op":"ping"}"#,
+        r#"{"id":"seven","op":"ping"}"#,
+        r#"{"id":[7,"x"],"op":"ping"}"#,
+        r#"{"id":{"client":"a","seq":7},"op":"ping"}"#,
+        r#"{"id":null,"op":"ping"}"#,
+        r#"{"op":"ping"}"#,
+        r#"{"id":{"client":"a","seq":8},"op":"warp"}"#,
+    ]
+    .join("\n");
+    let replies = serve_script(&cfg_small(), &script);
+    assert_eq!(replies.len(), 8);
+    let ids: Vec<Json> =
+        replies.iter().map(|l| parse(l).unwrap().get("id").cloned().unwrap()).collect();
+    assert!(ids.contains(&Json::Num(7.0)));
+    assert!(ids.contains(&Json::Num(7.5)));
+    assert!(ids.contains(&Json::str("seven")));
+    assert!(ids.contains(&Json::Arr(vec![Json::Num(7.0), Json::str("x")])));
+    // Structured ids are echoed on ok replies AND on typed errors.
+    let structured = |seq: f64| {
+        ids.iter()
+            .filter(|id| {
+                id.get("client").and_then(Json::as_str) == Some("a")
+                    && id.get("seq").and_then(Json::as_f64) == Some(seq)
+            })
+            .count()
+    };
+    assert_eq!(structured(7.0), 1);
+    assert_eq!(structured(8.0), 1, "error replies echo structured ids too");
+    assert_eq!(ids.iter().filter(|id| **id == Json::Null).count(), 2);
+}
+
+/// `ping` and `status` answer immediately even when the queue is
+/// saturated — health probes must not bounce off a full queue.
+#[test]
+fn ping_and_status_bypass_a_full_queue() {
+    let cfg = ServeConfig { workers: 1, queue: 1, sweep_threads: 2, ..Default::default() };
+    let slow =
+        r#"{"id":"slow","op":"sweep","scale":0.02,"levels":["Conv","Lev2"],"widths":[1,8]}"#;
+    let script = [
+        slow,
+        slow, // fills the single queue slot (or rejects — either way busy)
+        r#"{"id":"hb","op":"ping"}"#,
+        r#"{"id":"st","op":"status"}"#,
+    ]
+    .join("\n");
+    let replies = index_replies(&serve_script(&cfg, &script));
+    assert_eq!(replies.len(), 4);
+    let (_, ok, r) = replies.iter().find(|(id, _, _)| *id == Json::str("hb")).unwrap();
+    assert!(ok, "{r:?}");
+    assert_eq!(r.get("pong"), Some(&Json::Bool(true)));
+    let (_, ok, r) = replies.iter().find(|(id, _, _)| *id == Json::str("st")).unwrap();
+    assert!(ok, "{r:?}");
+    assert_eq!(r.get("role").and_then(Json::as_str), Some("single"));
+    assert_eq!(r.get("queue_cap").and_then(Json::as_u64), Some(1));
+    assert!(r.get("queue_depth").and_then(Json::as_u64).is_some());
+}
+
+/// A TCP client that dies mid-line (unterminated final fragment, then
+/// reset) is a clean end of session: the fragment is not answered, the
+/// connection closes without error, and the server serves the next
+/// client untouched.
+#[test]
+fn tcp_mid_line_disconnect_closes_cleanly() {
+    let cfg = ServeConfig { workers: 1, queue: 4, sweep_threads: 1, ..Default::default() };
+    let (addr, accept_loop) = serve_tcp(&cfg, "127.0.0.1:0", Some(2)).unwrap();
+
+    // Client 1: one good request, then half a request and a hard reset.
+    {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        writeln!(writer, r#"{{"id":"good","op":"ping"}}"#).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let v = parse(line.trim()).unwrap();
+        assert_eq!(v.get("id"), Some(&Json::str("good")));
+        // Unterminated fragment, then the socket just goes away.
+        writer.write_all(br#"{"id":"torn","op":"comp"#).unwrap();
+        writer.flush().unwrap();
+        drop(writer);
+        drop(stream);
+    }
+
+    // Client 2 is served normally after the messy disconnect; it also
+    // proves the torn fragment produced no stray reply (fresh channel
+    // per connection — nothing rides over).
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(
+        writer,
+        r#"{{"id":"after","op":"simulate","workload":"add","level":"Lev2","width":8,"scale":0.02}}"#
+    )
+    .unwrap();
+    writer.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut lines = Vec::new();
+    let mut line = String::new();
+    while reader.read_line(&mut line).unwrap() > 0 {
+        lines.push(line.trim().to_string());
+        line.clear();
+    }
+    assert_eq!(lines.len(), 1, "exactly one reply, no torn-request error: {lines:?}");
+    let v = parse(&lines[0]).unwrap();
+    assert_eq!(v.get("id"), Some(&Json::str("after")));
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    accept_loop.join().unwrap();
+}
+
 /// Two concurrent TCP clients with interleaved traffic: each receives
 /// exactly the replies to its own requests.
 #[test]
 fn concurrent_tcp_clients_are_isolated() {
-    let cfg = ServeConfig { workers: 2, queue: 16, sweep_threads: 2 };
+    let cfg = ServeConfig { workers: 2, queue: 16, sweep_threads: 2, ..Default::default() };
     let (addr, accept_loop) = serve_tcp(&cfg, "127.0.0.1:0", Some(2)).unwrap();
 
     let client = |tag: &'static str, n: usize| {

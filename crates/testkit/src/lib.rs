@@ -17,8 +17,13 @@
 //!   median/p95, machine-readable JSON output) replacing `criterion`
 //!   for the `ilpc-bench` targets.
 
+//! * [`stream`] — channel-backed `Read`/`Write` streams for driving
+//!   line-protocol services interactively (pace requests off replies).
+
 pub mod bench;
 pub mod prop;
 pub mod rng;
+pub mod stream;
 
 pub use rng::TestRng;
+pub use stream::{ChannelReader, SharedBuf};

@@ -1,0 +1,131 @@
+//! Channel-backed in-memory streams for driving line-protocol services.
+//!
+//! A JSON-lines service like `ilpc-serve` (and its `--pool` supervisor)
+//! reads requests from a `BufRead` and writes replies to a `Write`. Tests
+//! that only need batch semantics can use a `Cursor` — but *interactive*
+//! tests (send some requests, wait for their replies, then send more,
+//! e.g. a `status` probe that must observe the faults injected by the
+//! first wave) need a client that can pace its input off the output. This
+//! module provides both halves:
+//!
+//! * [`ChannelReader`] — a `Read` fed by an `mpsc` channel; `recv`-blocks
+//!   at quiet moments (like a real pipe), yields EOF when every sender is
+//!   dropped;
+//! * [`SharedBuf`] — a `Write` into an `Arc<Mutex<Vec<u8>>>` the test can
+//!   inspect *while the service runs* (count reply lines, then decide
+//!   what to send next).
+
+use std::io::Read;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// A blocking `Read` fed line-chunks through an `mpsc` channel. EOF once
+/// all senders are dropped and the buffer is drained.
+pub struct ChannelReader {
+    rx: mpsc::Receiver<Vec<u8>>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl ChannelReader {
+    /// A `(sender, reader)` pair. Send request bytes (include the
+    /// newline); drop the sender to signal EOF.
+    pub fn new() -> (mpsc::Sender<Vec<u8>>, ChannelReader) {
+        let (tx, rx) = mpsc::channel();
+        (tx, ChannelReader { rx, buf: Vec::new(), pos: 0 })
+    }
+}
+
+impl Read for ChannelReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        while self.pos == self.buf.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.buf = chunk;
+                    self.pos = 0;
+                }
+                Err(_) => return Ok(0), // all senders gone: EOF
+            }
+        }
+        let n = (self.buf.len() - self.pos).min(out.len());
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A `Write` into a shared, inspectable byte buffer.
+#[derive(Clone)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    pub fn new() -> SharedBuf {
+        SharedBuf(Arc::new(Mutex::new(Vec::new())))
+    }
+
+    /// Snapshot of the bytes written so far.
+    pub fn contents(&self) -> Vec<u8> {
+        self.0.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Complete lines written so far (a trailing unterminated fragment is
+    /// excluded — it is still being written).
+    pub fn lines(&self) -> Vec<String> {
+        let bytes = self.contents();
+        let text = String::from_utf8_lossy(&bytes);
+        let mut lines: Vec<String> = text.split('\n').map(str::to_string).collect();
+        lines.pop(); // "" after the final newline, or an incomplete tail
+        lines
+    }
+}
+
+impl Default for SharedBuf {
+    fn default() -> SharedBuf {
+        SharedBuf::new()
+    }
+}
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap_or_else(|p| p.into_inner()).extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+
+    #[test]
+    fn channel_reader_blocks_then_eofs() {
+        let (tx, reader) = ChannelReader::new();
+        let mut r = BufReader::new(reader);
+        tx.send(b"alpha\nbe".to_vec()).unwrap();
+        tx.send(b"ta\n".to_vec()).unwrap();
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line, "alpha\n");
+        line.clear();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line, "beta\n", "chunks may split lines arbitrarily");
+        drop(tx);
+        line.clear();
+        assert_eq!(r.read_line(&mut line).unwrap(), 0, "EOF after senders drop");
+    }
+
+    #[test]
+    fn shared_buf_is_inspectable_mid_stream() {
+        let mut w = SharedBuf::new();
+        let peek = w.clone();
+        writeln!(w, "one").unwrap();
+        write!(w, "two-incompl").unwrap();
+        assert_eq!(peek.lines(), vec!["one".to_string()]);
+        writeln!(w, "ete").unwrap();
+        assert_eq!(peek.lines(), vec!["one".to_string(), "two-incomplete".to_string()]);
+    }
+}

@@ -107,4 +107,36 @@ print(f"ok: 4 typed replies (simulate cycles={by_id[1]['result']['cycles']}, "
 EOF
 rm -f "$serve_replies"
 
+echo "== pool smoke (--pool 2 over stdin) =="
+# The shard-pool supervisor end-to-end on the happy path: three requests
+# through two real worker processes. Every id must come back exactly
+# once, and status must report the pool role with both shards up.
+pool_replies=$(mktemp)
+printf '%s\n' \
+  '{"id":1,"op":"simulate","workload":"dotprod","level":"Lev4","width":8,"scale":0.02}' \
+  '{"id":2,"op":"compile","workload":"add","level":"Lev2","width":4,"scale":0.02}' \
+  '{"id":3,"op":"status"}' \
+  | ./target/release/ilpc-serve --pool 2 --workers 1 --queue 8 > "$pool_replies"
+python3 - "$pool_replies" <<'EOF'
+import json, sys
+replies = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert len(replies) == 3, f"expected 3 replies, got {len(replies)}"
+by_id = {r["id"]: r for r in replies}
+assert by_id[1]["ok"] and by_id[1]["result"]["cycles"] > 0, by_id[1]
+assert by_id[2]["ok"] and by_id[2]["result"]["achieved"] == "Lev2", by_id[2]
+status = by_id[3]["result"]
+assert status["role"] == "pool" and len(status["shards"]) == 2, status
+print(f"ok: pool routed 3 replies through {len(status['shards'])} shards "
+      f"(healthy={status['healthy']})")
+EOF
+rm -f "$pool_replies"
+
+echo "== pool chaos campaign (seeded, quick) =="
+# The supervision contract under fire: a seeded chaos campaign (worker
+# kills, stalls, garbage lines, torn writes, dropped replies) against a
+# 3-shard pool, checked against a ground-truth run. The bin exits
+# nonzero on any lost/duplicated reply, untyped failure, ground-truth
+# divergence, or invisible fault.
+./target/release/pool-chaos --quick
+
 echo "verify: OK"
